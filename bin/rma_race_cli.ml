@@ -1,0 +1,236 @@
+(* Command-line front end: run any bundled workload under any detector,
+   score the microbenchmark suite, or regenerate a paper experiment.
+
+     rma_race suite --tool contribution
+     rma_race code ll_get_load_inwindow_origin_race
+     rma_race minivite --ranks 32 --vertices 64000 --tool must --inject
+     rma_race cfd --ranks 12 --iterations 50 --tool legacy
+     rma_race experiment table3
+*)
+
+open Cmdliner
+open Rma_analysis
+
+let tool_enum = List.map (fun k -> (Toolbox.slug k, k)) Toolbox.all
+
+let make_tool choice ~nprocs ~config = Toolbox.make choice ~nprocs ~config ()
+
+let tool_arg =
+  Arg.(
+    value
+    & opt (enum tool_enum) Toolbox.Contribution
+    & info [ "tool"; "t" ] ~docv:"TOOL" ~doc:"Detector: $(docv) is one of baseline, legacy, must, contribution, frag-only, order-blind, strided.")
+
+let ranks_arg default =
+  Arg.(value & opt int default & info [ "ranks"; "n" ] ~docv:"N" ~doc:"Number of simulated MPI ranks.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 2.0 }
+
+let print_tool_outcome tool =
+  Printf.printf "reports: %d\n" (tool.Tool.race_count ());
+  List.iteri
+    (fun i r -> if i < 5 then Printf.printf "  %s\n" (Report.to_message r))
+    (tool.Tool.races ());
+  let b = tool.Tool.bst_summary () in
+  if b.Tool.inserts_total > 0 then
+    Printf.printf "BST: %d trees, %d nodes final, %d peak, %d inserts, %d merges\n" b.Tool.stores
+      b.Tool.nodes_final_total b.Tool.nodes_peak_total b.Tool.inserts_total b.Tool.merges_total
+
+(* --- suite --- *)
+
+let suite_cmd =
+  let run tool_choice =
+    let tool = make_tool tool_choice ~nprocs:3 ~config in
+    match tool_choice with
+    | Toolbox.Baseline -> print_endline "the baseline detects nothing; pick a real tool"
+    | _ ->
+        let c = Rma_microbench.Runner.score ~tool Rma_microbench.Scenario.all in
+        Printf.printf "suite: %d codes — FP=%d FN=%d TP=%d TN=%d\n"
+          Rma_microbench.Scenario.count_total c.Rma_microbench.Runner.fp
+          c.Rma_microbench.Runner.fn c.Rma_microbench.Runner.tp c.Rma_microbench.Runner.tn
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Score a detector on the 154-code microbenchmark suite (Table 3).")
+    Term.(const run $ tool_arg)
+
+(* --- code --- *)
+
+let code_cmd =
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CODE" ~doc:"Microbenchmark name.")
+  in
+  let run tool_choice name =
+    match Rma_microbench.Scenario.find name with
+    | None ->
+        Printf.eprintf "unknown code %S\n" name;
+        exit 2
+    | Some s ->
+        let tool = make_tool tool_choice ~nprocs:3 ~config in
+        let v = Rma_microbench.Runner.run ~tool s in
+        Printf.printf "%s: ground truth %s; %s says %s [%s]\n" name
+          (if s.Rma_microbench.Scenario.racy then "RACE" else "safe")
+          tool.Tool.name
+          (if v.Rma_microbench.Runner.flagged then "error detected" else "no error")
+          (Rma_microbench.Runner.outcome_name (Rma_microbench.Runner.classify v));
+        List.iter (fun r -> print_endline ("  " ^ Report.to_message r)) v.Rma_microbench.Runner.reports
+  in
+  Cmd.v
+    (Cmd.info "code" ~doc:"Run one microbenchmark code under a detector.")
+    Term.(const run $ tool_arg $ name_arg)
+
+(* --- minivite --- *)
+
+let minivite_cmd =
+  let vertices_arg =
+    Arg.(value & opt int 64_000 & info [ "vertices" ] ~docv:"V" ~doc:"Graph size.")
+  in
+  let inject_arg =
+    Arg.(value & flag & info [ "inject" ] ~doc:"Duplicate one MPI_Put (the Figure 9 fault).")
+  in
+  let run tool_choice nprocs seed vertices inject =
+    let params =
+      {
+        Minivite.Louvain.default_params with
+        Minivite.Louvain.graph =
+          { Minivite.Graph.default_params with Minivite.Graph.n_vertices = vertices };
+        inject_race = inject;
+      }
+    in
+    let tool = make_tool tool_choice ~nprocs ~config in
+    let observer = match tool_choice with Toolbox.Baseline -> None | _ -> Some tool.Tool.observer in
+    let result, summary = Minivite.Louvain.run params ~nprocs ~seed ~config ?observer () in
+    Printf.printf
+      "minivite: %d vertices, %d ranks — modularity %.3f, %d communities, %d gets, %d puts\n"
+      vertices nprocs summary.Minivite.Louvain.modularity summary.Minivite.Louvain.communities
+      summary.Minivite.Louvain.ghost_fetches summary.Minivite.Louvain.update_puts;
+    Printf.printf "simulated time: %.1f ms; wall: %.2f s\n"
+      (result.Mpi_sim.Runtime.makespan *. 1000.0)
+      result.Mpi_sim.Runtime.wall_seconds;
+    print_tool_outcome tool
+  in
+  Cmd.v
+    (Cmd.info "minivite" ~doc:"Run the MiniVite-like Louvain phase under a detector.")
+    Term.(const run $ tool_arg $ ranks_arg 32 $ seed_arg $ vertices_arg $ inject_arg)
+
+(* --- cfd --- *)
+
+let cfd_cmd =
+  let iterations_arg =
+    Arg.(value & opt int 50 & info [ "iterations" ] ~docv:"I" ~doc:"Halo-exchange iterations.")
+  in
+  let cells_arg =
+    Arg.(value & opt int 432 & info [ "cells" ] ~docv:"C" ~doc:"Cells per halo chunk.")
+  in
+  let run tool_choice nprocs seed iterations cells =
+    let params =
+      { Cfd_proxy.Halo.default_params with Cfd_proxy.Halo.iterations; cells_per_chunk = cells }
+    in
+    let tool = make_tool tool_choice ~nprocs ~config in
+    let observer = match tool_choice with Toolbox.Baseline -> None | _ -> Some tool.Tool.observer in
+    let result, summary = Cfd_proxy.Halo.run params ~nprocs ~seed ~config ?observer () in
+    Printf.printf "cfd-proxy: %d ranks, %d iterations — checksum %.6g, %d puts\n" nprocs iterations
+      summary.Cfd_proxy.Halo.checksum summary.Cfd_proxy.Halo.halo_puts;
+    Printf.printf "epoch time (mean per rank): %.3f s; wall: %.2f s\n"
+      (Array.fold_left ( +. ) 0.0 result.Mpi_sim.Runtime.epoch_times /. float_of_int nprocs)
+      result.Mpi_sim.Runtime.wall_seconds;
+    print_tool_outcome tool
+  in
+  Cmd.v
+    (Cmd.info "cfd" ~doc:"Run the CFD-Proxy-like halo exchange under a detector.")
+    Term.(const run $ tool_arg $ ranks_arg 12 $ seed_arg $ iterations_arg $ cells_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let which_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"EXPERIMENT"
+          ~doc:"table2, table3, table4, fig5, fig8, fig9, fig10, fig11, fig12 or ablation.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"MiniVite input scale factor.")
+  in
+  let run which scale =
+    let open Rma_report in
+    match which with
+    | "table2" -> print_string (snd (Experiments.table2 ()))
+    | "table3" -> print_string (snd (Experiments.table3 ()))
+    | "table4" -> print_string (snd (Experiments.table4 ~scale ()))
+    | "fig5" -> print_string (Experiments.fig5 ())
+    | "fig8" -> print_string (snd (Experiments.fig8 ()))
+    | "fig9" -> print_string (Experiments.fig9 ())
+    | "fig10" -> print_string (snd (Experiments.fig10 ()))
+    | "fig11" -> print_string (snd (Experiments.fig11 ~scale ()))
+    | "fig12" -> print_string (snd (Experiments.fig12 ~scale ()))
+    | "ablation" -> print_string (snd (Experiments.ablation ()))
+    | other ->
+        Printf.eprintf "unknown experiment %S\n" other;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
+    Term.(const run $ which_arg $ scale_arg)
+
+(* --- bfs --- *)
+
+let bfs_cmd =
+  let vertices_arg =
+    Arg.(value & opt int 20_000 & info [ "vertices" ] ~docv:"V" ~doc:"Graph size.")
+  in
+  let run tool_choice nprocs seed vertices =
+    let params =
+      {
+        Graph500.Bfs.default_params with
+        Graph500.Bfs.graph =
+          { Minivite.Graph.default_params with Minivite.Graph.n_vertices = vertices };
+      }
+    in
+    let tool = make_tool tool_choice ~nprocs ~config in
+    let observer = match tool_choice with Toolbox.Baseline -> None | _ -> Some tool.Tool.observer in
+    let result, summary = Graph500.Bfs.run params ~nprocs ~seed ~config ?observer () in
+    Printf.printf
+      "bfs: %d vertices, %d ranks — reached %d in %d levels, checksum %Ld, %d overflow retries\n"
+      vertices nprocs summary.Graph500.Bfs.reached summary.Graph500.Bfs.levels
+      summary.Graph500.Bfs.parent_checksum summary.Graph500.Bfs.inbox_overflows;
+    Printf.printf "simulated time: %.1f ms; wall: %.2f s\n"
+      (result.Mpi_sim.Runtime.makespan *. 1000.0)
+      result.Mpi_sim.Runtime.wall_seconds;
+    print_tool_outcome tool
+  in
+  Cmd.v
+    (Cmd.info "bfs" ~doc:"Run the Graph500-style fence-synchronised BFS under a detector.")
+    Term.(const run $ tool_arg $ ranks_arg 16 $ seed_arg $ vertices_arg)
+
+(* --- export --- *)
+
+let export_cmd =
+  let dir_arg =
+    Arg.(value & opt string "results" & info [ "dir"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let experiments_arg =
+    Arg.(
+      value
+      & opt (list string) [ "table2"; "table3"; "ablation"; "suite" ]
+      & info [ "experiments"; "e" ] ~docv:"LIST"
+          ~doc:"Comma-separated experiments to export (table2..fig12, ablation, suite).")
+  in
+  let scale_arg =
+    Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"MiniVite input scale factor.")
+  in
+  let run dir experiments scale =
+    Rma_report.Experiments.export ~dir ~scale experiments;
+    Printf.printf "exported %s to %s/
+" (String.concat ", " experiments) dir
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export experiment data as CSV (and the suite as C sources).")
+    Term.(const run $ dir_arg $ experiments_arg $ scale_arg)
+
+let () =
+  let doc = "Data race detection for MPI-RMA programs (SC-W 2023 reproduction)" in
+  let info = Cmd.info "rma_race" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ suite_cmd; code_cmd; minivite_cmd; cfd_cmd; bfs_cmd; experiment_cmd; export_cmd ]))

@@ -1,0 +1,73 @@
+(* CFD-Proxy-style halo exchange under each detector: validates the
+   exchanged data and prints the Figure 10 per-method epoch times and
+   tree sizes.
+
+     dune exec examples/cfd_halo.exe
+     dune exec examples/cfd_halo.exe -- --ranks 8 --iterations 20
+*)
+
+open Rma_analysis
+module Table = Rma_util.Text_table
+
+let () =
+  let ranks = ref 12 and iterations = ref 20 and cells = ref 64 in
+  let rec parse = function
+    | "--ranks" :: v :: rest ->
+        ranks := int_of_string v;
+        parse rest
+    | "--iterations" :: v :: rest ->
+        iterations := int_of_string v;
+        parse rest
+    | "--cells" :: v :: rest ->
+        cells := int_of_string v;
+        parse rest
+    | _ :: rest -> parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let nprocs = !ranks in
+  let params =
+    {
+      Cfd_proxy.Halo.default_params with
+      Cfd_proxy.Halo.iterations = !iterations;
+      cells_per_chunk = !cells;
+    }
+  in
+  Printf.printf "CFD-Proxy halo exchange: %d ranks, %d iterations, %d cells/chunk, 2 windows\n\n"
+    nprocs !iterations !cells;
+  let config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 2.0 } in
+  let t =
+    Table.create
+      ~columns:
+        [ ("Method", Table.Left); ("Epoch time (s)", Table.Right); ("BST nodes", Table.Right);
+          ("Reports", Table.Right); ("Checksum OK", Table.Center) ]
+      ()
+  in
+  let reference = ref None in
+  List.iter
+    (fun (name, tool) ->
+      let observer = Option.map (fun t -> t.Tool.observer) tool in
+      let result, summary = Cfd_proxy.Halo.run params ~nprocs ~config ?observer () in
+      let checksum = summary.Cfd_proxy.Halo.checksum in
+      (match !reference with None -> reference := Some checksum | Some _ -> ());
+      let ok = match !reference with Some c -> abs_float (c -. checksum) < 1e-6 | None -> false in
+      let epoch = Array.fold_left ( +. ) 0.0 result.Mpi_sim.Runtime.epoch_times /. float_of_int nprocs in
+      let nodes, reports =
+        match tool with
+        | None -> (0, 0)
+        | Some t -> ((t.Tool.bst_summary ()).Tool.nodes_final_total, t.Tool.race_count ())
+      in
+      Table.add_row t
+        [ name; Table.cell_float ~decimals:3 epoch; string_of_int nodes; string_of_int reports;
+          (if ok then "yes" else "NO") ])
+    [
+      ("Baseline", None);
+      ("RMA-Analyzer", Some (Rma_analyzer.create ~nprocs ~config ~mode:Tool.Collect Rma_analyzer.Legacy));
+      ("MUST-RMA", Some (Must_rma.create ~nprocs ~config ()));
+      ( "Our Contribution",
+        Some (Rma_analyzer.create ~nprocs ~config ~mode:Tool.Collect Rma_analyzer.Contribution) );
+    ];
+  Table.print t;
+  print_endline
+    "\nNote: RMA-Analyzer's reports on this race-free code are its order-insensitivity false\n\
+     positives (pack-then-put), the weakness §5.2 documents and the contribution fixes."

@@ -1,0 +1,65 @@
+(* Tour of the 154-code microbenchmark suite (§5.2): run any code by
+   name under the three detectors, or sample a few representative ones.
+
+     dune exec examples/microbench_tour.exe                  -- the tour
+     dune exec examples/microbench_tour.exe -- list          -- all names
+     dune exec examples/microbench_tour.exe -- <code-name>   -- one code
+*)
+
+open Rma_microbench
+open Rma_analysis
+module Table = Rma_util.Text_table
+
+let tools () =
+  [
+    ("RMA-Analyzer", Rma_analyzer.create ~nprocs:3 ~mode:Tool.Collect Rma_analyzer.Legacy);
+    ("MUST-RMA", Must_rma.create ~nprocs:3 ());
+    ( "Our Contribution",
+      Rma_analyzer.create ~nprocs:3 ~mode:Tool.Collect Rma_analyzer.Contribution );
+  ]
+
+let show_code s =
+  Printf.printf "\n%s  (ground truth: %s)\n" s.Scenario.name
+    (if s.Scenario.racy then "DATA RACE" else "safe");
+  List.iter
+    (fun (name, tool) ->
+      let v = Runner.run ~tool s in
+      let verdict = if v.Runner.flagged then "error detected" else "no error found" in
+      let judged = Runner.outcome_name (Runner.classify v) in
+      Printf.printf "  %-18s %-16s [%s]\n" name verdict judged;
+      match v.Runner.reports with
+      | r :: _ when v.Runner.flagged && name = "Our Contribution" ->
+          Printf.printf "      %s\n" (Report.to_message r)
+      | _ -> ())
+    (tools ())
+
+let tour_codes =
+  [
+    "ll_get_load_outwindow_origin_race";
+    "ll_get_get_inwindow_origin_safe";
+    "ll_get_load_inwindow_origin_race";
+    "ll_load_get_inwindow_origin_safe";
+    "lt_put_put_inwindow_target_race";
+    "lr_get_put_inwindow_origin_race";
+    "ll_put_store_outwindow_origin_race";
+  ]
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [ "list" ] -> List.iter (fun s -> print_endline s.Scenario.name) Scenario.all
+  | [ name ] -> (
+      match Scenario.find name with
+      | Some s -> show_code s
+      | None ->
+          Printf.eprintf "unknown code %S; try 'list'\n" name;
+          exit 2)
+  | _ ->
+      Printf.printf "Microbenchmark suite: %d codes (%d racy, %d safe). A sample:\n"
+        Scenario.count_total Scenario.count_racy Scenario.count_safe;
+      List.iter
+        (fun name ->
+          match Scenario.find name with
+          | Some s -> show_code s
+          | None -> ())
+        tour_codes;
+      print_endline "\nRun with a code name to inspect any of the 154; 'list' prints them all."

@@ -1,0 +1,39 @@
+type t = {
+  interval : Interval.t;
+  kind : Access_kind.t;
+  issuer : int;
+  seq : int;
+  debug : Debug_info.t;
+}
+
+let make ~interval ~kind ~issuer ~seq ~debug = { interval; kind; issuer; seq; debug }
+
+let with_interval t interval = { t with interval }
+
+let with_kind t kind = { t with kind }
+
+let same_issuer a b = a.issuer = b.issuer
+
+let mergeable a b =
+  a.issuer = b.issuer && Access_kind.equal a.kind b.kind && Debug_info.equal a.debug b.debug
+
+let most_recent a b = if a.seq >= b.seq then a else b
+
+let dominate ~older ~newer interval =
+  let sa = Access_kind.strength older.kind and sb = Access_kind.strength newer.kind in
+  let winner =
+    if sa > sb then older else if sb > sa then newer else most_recent older newer
+  in
+  { winner with interval }
+
+let pp fmt t =
+  Format.fprintf fmt "(%a, %a, rank %d, %a)" Interval.pp t.interval Access_kind.pp t.kind
+    t.issuer Debug_info.pp t.debug
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal a b =
+  Interval.equal a.interval b.interval
+  && Access_kind.equal a.kind b.kind
+  && a.issuer = b.issuer && a.seq = b.seq
+  && Debug_info.equal a.debug b.debug

@@ -1,0 +1,46 @@
+(** A recorded memory access: the unit stored in the per-window BST.
+
+    Carries the exact interval of addresses touched, the access kind,
+    the rank that issued the operation (an [MPI_Put] from rank 2 into
+    rank 0's window is recorded in rank 0's tree with [issuer = 2]), a
+    monotone sequence number that orders the accesses as the analyzer
+    observed them, and debug information for reports and merging. *)
+
+type t = {
+  interval : Interval.t;
+  kind : Access_kind.t;
+  issuer : int;  (** Rank whose operation produced the access. *)
+  seq : int;  (** Observation order within the analyzer; higher = later. *)
+  debug : Debug_info.t;
+}
+
+val make :
+  interval:Interval.t -> kind:Access_kind.t -> issuer:int -> seq:int -> debug:Debug_info.t -> t
+
+val with_interval : t -> Interval.t -> t
+(** Same access restricted (or extended) to another interval — used by
+    fragmentation to carve an access into sub-intervals. *)
+
+val with_kind : t -> Access_kind.t -> t
+
+val same_issuer : t -> t -> bool
+
+val mergeable : t -> t -> bool
+(** The §4.2 merging precondition minus adjacency: equal access kind and
+    equal debug information (and same issuer, which equal debug info
+    implies for distinct processes only by convention — we require it
+    explicitly). *)
+
+val most_recent : t -> t -> t
+(** The access with the larger sequence number. *)
+
+val dominate : older:t -> newer:t -> Interval.t -> t
+(** Table 1 combination for an intersection fragment: the resulting kind
+    is the stronger of the two; the debug info (and issuer/seq) follow
+    the access whose kind wins, with ties keeping the most recent. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val equal : t -> t -> bool
+(** Full structural equality (including [seq]). *)

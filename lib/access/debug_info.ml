@@ -1,0 +1,18 @@
+type t = { file : string; line : int; operation : string }
+
+let make ~file ~line ~operation = { file; line; operation }
+
+let unknown = { file = "<unknown>"; line = 0; operation = "?" }
+
+let equal a b = a.line = b.line && String.equal a.file b.file && String.equal a.operation b.operation
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c else String.compare a.operation b.operation
+
+let pp fmt t = Format.fprintf fmt "%s:%d (%s)" t.file t.line t.operation
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,25 @@
+(** Source provenance attached to every recorded access.
+
+    The paper keeps debug information (file and line of the access) in
+    each BST node so race reports point at the conflicting statements
+    (Figure 9b), and the merging algorithm only coalesces accesses whose
+    debug information is equal — two accesses from different source
+    lines "will not be fixed in the same way" (§4.2). *)
+
+type t = { file : string; line : int; operation : string }
+(** [operation] names the MPI call or load/store, e.g. ["MPI_Put"]. *)
+
+val make : file:string -> line:int -> operation:string -> t
+
+val unknown : t
+(** Placeholder provenance for synthetic accesses in tests. *)
+
+val equal : t -> t -> bool
+(** Structural equality — the merging precondition. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Renders ["file:line (operation)"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,34 @@
+type verdict = No_race | Race of { first : Access.t; second : Access.t }
+
+let conflict_kinds ~order_aware ~same_process ~first ~second =
+  let open Access_kind in
+  if is_local first && is_local second then false
+  else if is_accumulate first && is_accumulate second then
+    (* The §2.1 atomicity property: accumulates are atomic at the
+       datatype level and order-independent (same-op assumption), so two
+       accumulates on the same location do not race. *)
+    false
+  else begin
+    let has_rma = is_rma first || is_rma second in
+    let has_write = is_write first || is_write second in
+    if not (has_rma && has_write) then false
+    else if same_process && order_aware && is_local first && is_rma second then
+      (* Program order: the local access finished before the RMA call was
+         issued by the same process, e.g. Load then MPI_Get (§5.2). *)
+      false
+    else true
+  end
+
+let check ~order_aware ~existing ~incoming =
+  if not (Interval.overlaps existing.Access.interval incoming.Access.interval) then No_race
+  else begin
+    let same_process = Access.same_issuer existing incoming in
+    if
+      conflict_kinds ~order_aware ~same_process ~first:existing.Access.kind
+        ~second:incoming.Access.kind
+    then Race { first = existing; second = incoming }
+    else No_race
+  end
+
+let races ~order_aware ~existing ~incoming =
+  match check ~order_aware ~existing ~incoming with No_race -> false | Race _ -> true

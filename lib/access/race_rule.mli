@@ -1,0 +1,32 @@
+(** The data-race predicate (Figure 3 of the paper).
+
+    Two accesses to overlapping address ranges race when at least one of
+    them is an RMA access and at least one is a WRITE — except that
+    program order protects one direction inside a single process: a
+    local access *followed by* an RMA operation issued by the same
+    process cannot race (the local access completed before the one-sided
+    call was even issued), whereas an RMA operation *followed by* a
+    local access can (the RMA may complete at any point up to the end of
+    the epoch). Legacy RMA-Analyzer ignored this asymmetry and flagged
+    both directions, producing the six false positives of Table 3; the
+    paper's contribution fixes it (§5.2). The [order_aware] flag selects
+    between the two behaviours so both tools can share this module. *)
+
+type verdict = No_race | Race of { first : Access.t; second : Access.t }
+
+val conflict_kinds : order_aware:bool -> same_process:bool ->
+  first:Access_kind.t -> second:Access_kind.t -> bool
+(** Kind-level conflict table, ignoring intervals. [first] is the access
+    already recorded (issued earlier), [second] the newcomer. Accesses
+    from different processes are never ordered, so with
+    [same_process = false] any RMA+WRITE combination conflicts. Two
+    local accesses never conflict: within a process they are ordered by
+    program order, and across processes they target distinct address
+    spaces. *)
+
+val check : order_aware:bool -> existing:Access.t -> incoming:Access.t -> verdict
+(** Full predicate: overlap of intervals plus [conflict_kinds], with
+    [same_process] derived from the issuer ranks. *)
+
+val races : order_aware:bool -> existing:Access.t -> incoming:Access.t -> bool
+(** [check] collapsed to a boolean. *)

@@ -1,0 +1,33 @@
+open Rma_access
+
+type t = {
+  tool : string;
+  space : int;
+  win : Mpi_sim.Event.win_id option;
+  existing : Access.t;
+  incoming : Access.t;
+  sim_time : float;
+}
+
+exception Race_abort of t
+
+let make ~tool ~space ~win ~existing ~incoming ~sim_time =
+  { tool; space; win; existing; incoming; sim_time }
+
+let to_message t =
+  Printf.sprintf
+    "Error when inserting memory access of type %s from file %s:%d with already inserted \
+     interval of type %s from file %s:%d. The program will be exiting now with MPI_Abort."
+    (Access_kind.to_string t.incoming.Access.kind)
+    t.incoming.Access.debug.Debug_info.file t.incoming.Access.debug.Debug_info.line
+    (Access_kind.to_string t.existing.Access.kind)
+    t.existing.Access.debug.Debug_info.file t.existing.Access.debug.Debug_info.line
+
+let pp fmt t =
+  Format.fprintf fmt "[%s] rank %d%s: %s" t.tool t.space
+    (match t.win with None -> "" | Some w -> Printf.sprintf " (window %d)" w)
+    (to_message t)
+
+let involves_operation t operation =
+  String.equal t.existing.Access.debug.Debug_info.operation operation
+  || String.equal t.incoming.Access.debug.Debug_info.operation operation

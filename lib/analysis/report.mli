@@ -1,0 +1,37 @@
+open Rma_access
+
+(** Race reports, rendered in the style the paper shows for the MiniVite
+    injection (Figure 9b). *)
+
+type t = {
+  tool : string;
+  space : int;  (** Rank whose address space holds the conflict. *)
+  win : Mpi_sim.Event.win_id option;
+  existing : Access.t;
+  incoming : Access.t;
+  sim_time : float;
+}
+
+exception Race_abort of t
+(** Raised by a tool running in [Abort_on_race] mode — the simulated
+    equivalent of the MPI_Abort the real tool issues. *)
+
+val make :
+  tool:string ->
+  space:int ->
+  win:Mpi_sim.Event.win_id option ->
+  existing:Access.t ->
+  incoming:Access.t ->
+  sim_time:float ->
+  t
+
+val to_message : t -> string
+(** Figure 9b wording: "Error when inserting memory access of type
+    RMA_WRITE from file ./dspl.hpp:614 with already inserted interval of
+    type RMA_WRITE from file ./dspl.hpp:612. ..." *)
+
+val pp : Format.formatter -> t -> unit
+
+val involves_operation : t -> string -> bool
+(** Does either side's debug info carry this operation name? Convenience
+    for tests. *)

@@ -1,0 +1,208 @@
+open Rma_access
+open Rma_store
+module Event = Mpi_sim.Event
+module Config = Mpi_sim.Config
+
+type policy = Legacy | Contribution | Fragmentation_only | Order_blind | Strided_extension
+
+let policy_name = function
+  | Legacy -> "RMA-Analyzer"
+  | Contribution -> "Our Contribution"
+  | Fragmentation_only -> "Fragmentation-only (ablation)"
+  | Order_blind -> "Order-blind (ablation)"
+  | Strided_extension -> "Strided-merging extension"
+
+(* The store implementations behind one dispatch. *)
+type store = L of Legacy_store.t | D of Disjoint_store.t | S of Strided_store.t
+
+let store_insert = function
+  | L s -> Legacy_store.insert s
+  | D s -> Disjoint_store.insert s
+  | S s -> Strided_store.insert s
+let store_stats = function
+  | L s -> Legacy_store.stats s
+  | D s -> Disjoint_store.stats s
+  | S s -> Strided_store.stats s
+let store_size = function
+  | L s -> Legacy_store.size s
+  | D s -> Disjoint_store.size s
+  | S s -> Strided_store.size s
+let store_clear = function
+  | L s -> Legacy_store.clear s
+  | D s -> Disjoint_store.clear s
+  | S s -> Strided_store.clear s
+
+type tree = {
+  store : store;
+  mutable epoch_open : bool;
+  mutable nodes_at_last_close : int option;
+}
+
+type state = {
+  nprocs : int;
+  config : Config.t;
+  mode : Tool.mode;
+  flush_clears : bool;
+  policy : policy;
+  name : string;
+  trees : (int * Event.win_id, tree) Hashtbl.t;  (* (space, window) *)
+  epoch_closers : (Event.win_id, int) Hashtbl.t;
+      (* Ranks that closed their epoch on a window since the last global
+         clear. The §5.1 protocol ends every epoch with an MPI_Reduce and
+         a wait for pending remote-access notifications, so a window's
+         trees are only cleared once EVERY rank has closed — otherwise a
+         target would drop remote accesses from origins still inside
+         their epoch. *)
+  mutable races : Report.t list;
+  mutable race_count : int;
+}
+
+let new_store policy =
+  match policy with
+  | Legacy -> L (Legacy_store.create ())
+  | Contribution -> D (Disjoint_store.create ())
+  | Fragmentation_only -> D (Disjoint_store.create ~merge:false ())
+  | Order_blind -> D (Disjoint_store.create ~order_aware:false ())
+  | Strided_extension -> S (Strided_store.create ())
+
+let tree_for st key =
+  match Hashtbl.find_opt st.trees key with
+  | Some t -> t
+  | None ->
+      let t = { store = new_store st.policy; epoch_open = false; nodes_at_last_close = None } in
+      Hashtbl.replace st.trees key t;
+      t
+
+let max_stored_reports = 1000
+
+let record_race st ~space ~win ~existing ~incoming ~sim_time =
+  let report = Report.make ~tool:st.name ~space ~win ~existing ~incoming ~sim_time in
+  st.race_count <- st.race_count + 1;
+  if st.race_count <= max_stored_reports then st.races <- report :: st.races;
+  match st.mode with
+  | Tool.Abort_on_race -> raise (Report.Race_abort report)
+  | Tool.Collect -> ()
+
+let insert_into st key access ~sim_time =
+  let tree = tree_for st key in
+  match store_insert tree.store access with
+  | Store_intf.Inserted -> ()
+  | Store_intf.Race_detected { existing; incoming } ->
+      let space, win = key in
+      record_race st ~space ~win:(Some win) ~existing ~incoming ~sim_time
+
+(* Which trees receive a local access: the window containing it when its
+   epoch is open, otherwise every open epoch of the rank (the analyzer
+   only collects accesses "contained within each epoch", §5.1). *)
+let local_targets st ~space ~win =
+  match win with
+  | Some w -> (
+      match Hashtbl.find_opt st.trees (space, w) with
+      | Some t when t.epoch_open -> [ (space, w) ]
+      | _ -> [])
+  | None ->
+      Hashtbl.fold
+        (fun (sp, w) t acc -> if sp = space && t.epoch_open then (sp, w) :: acc else acc)
+        st.trees []
+
+let on_access st (a : Event.access_event) =
+  if not a.Event.relevant then 0.0 (* filtered out by the alias analysis *)
+  else begin
+    let access = a.Event.access in
+    let is_rma = Access_kind.is_rma access.Access.kind in
+    (if is_rma then begin
+       match a.Event.win with
+       | Some w -> insert_into st (a.Event.space, w) access ~sim_time:a.Event.sim_time
+       | None -> ()
+     end
+     else
+       List.iter
+         (fun key -> insert_into st key access ~sim_time:a.Event.sim_time)
+         (local_targets st ~space:a.Event.space ~win:a.Event.win));
+    (* The origin's notification MPI_Send towards the target (§5.1):
+       charged on the target-side event of cross-rank operations. *)
+    if is_rma && a.Event.space <> access.Access.issuer then
+      Config.message_cost st.config ~bytes_count:32
+    else 0.0
+  end
+
+let observer st event =
+  match event with
+  | Event.Access a -> on_access st a
+  | Event.Epoch_opened { win; rank; _ } ->
+      let tree = tree_for st (rank, win) in
+      tree.epoch_open <- true;
+      0.0
+  | Event.Epoch_closed { win; rank; _ } ->
+      let tree = tree_for st (rank, win) in
+      tree.epoch_open <- false;
+      tree.nodes_at_last_close <- Some (store_size tree.store);
+      let closed = Option.value (Hashtbl.find_opt st.epoch_closers win) ~default:0 + 1 in
+      if closed >= st.nprocs then begin
+        Hashtbl.remove st.epoch_closers win;
+        Hashtbl.iter (fun (_, w) t -> if w = win then store_clear t.store) st.trees
+      end
+      else Hashtbl.replace st.epoch_closers win closed;
+      (* The end-of-epoch MPI_Reduce counting remote accesses (§5.1). *)
+      Config.collective_cost st.config ~nprocs:st.nprocs ~bytes_count:8
+  | Event.Flushed { win; rank; _ } ->
+      (* Deliberately untreated by default: MPI_Win_flush only orders the
+         caller's operations, so clearing the tree here causes false
+         negatives for third-party origins (§6(2)). [flush_clears] exists
+         as the negative ablation demonstrating exactly that. *)
+      if st.flush_clears then begin
+        match Hashtbl.find_opt st.trees (rank, win) with
+        | Some tree -> store_clear tree.store
+        | None -> ()
+      end;
+      0.0
+  | Event.Collective _ | Event.Win_created _ | Event.Win_freed _ | Event.Finished _ -> 0.0
+
+let bst_summary st () =
+  Hashtbl.fold
+    (fun _ tree acc ->
+      let stats = store_stats tree.store in
+      let final =
+        match tree.nodes_at_last_close with
+        | Some n when not tree.epoch_open -> n
+        | _ -> stats.Store_intf.nodes
+      in
+      {
+        Tool.stores = acc.Tool.stores + 1;
+        nodes_final_total = acc.Tool.nodes_final_total + final;
+        nodes_peak_total = acc.Tool.nodes_peak_total + stats.Store_intf.peak_nodes;
+        inserts_total = acc.Tool.inserts_total + stats.Store_intf.inserts;
+        fragments_total = acc.Tool.fragments_total + stats.Store_intf.fragments_created;
+        merges_total = acc.Tool.merges_total + stats.Store_intf.merges_performed;
+      })
+    st.trees Tool.empty_bst_summary
+
+let create ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race) ?(flush_clears = false)
+    policy =
+  let st =
+    {
+      nprocs;
+      config;
+      mode;
+      flush_clears;
+      policy;
+      name = policy_name policy;
+      trees = Hashtbl.create 16;
+      epoch_closers = Hashtbl.create 4;
+      races = [];
+      race_count = 0;
+    }
+  in
+  {
+    Tool.name = st.name;
+    observer = observer st;
+    races = (fun () -> List.rev st.races);
+    race_count = (fun () -> st.race_count);
+    bst_summary = bst_summary st;
+    reset =
+      (fun () ->
+        Hashtbl.reset st.trees;
+        Hashtbl.reset st.epoch_closers;
+        st.races <- [];
+        st.race_count <- 0);
+  }

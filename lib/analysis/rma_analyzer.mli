@@ -1,0 +1,47 @@
+(** The RMA-Analyzer family of detectors.
+
+    One constructor covers the published legacy tool, the paper's
+    contribution, and the two ablations in between, differing only in
+    the store policy:
+
+    - [Legacy] — non-disjoint multiset store, conflict check along the
+      lower-bound search path only, order-insensitive rule. Reproduces
+      the published tool with its Figure 5a false negatives and Table 3
+      false positives.
+    - [Contribution] — Algorithm 1: exact overlap check, fragmentation,
+      merging, order-aware rule.
+    - [Fragmentation_only] — contribution without merging (§4.1 alone);
+      shows the node explosion merging exists to fix.
+    - [Order_blind] — contribution with the legacy conflict rule;
+      isolates the order-awareness fix.
+
+    Protocol costs mirror §5.1: every remote access charges the
+    notification send, every epoch close charges the MPI_Reduce. *)
+
+type policy =
+  | Legacy
+  | Contribution
+  | Fragmentation_only
+  | Order_blind
+  | Strided_extension
+      (** The paper's §6(3) future work: merging extended to non-adjacent
+          strided accesses via {!Rma_store.Strided_store}. *)
+
+val policy_name : policy -> string
+
+val create :
+  nprocs:int ->
+  ?config:Mpi_sim.Config.t ->
+  ?mode:Tool.mode ->
+  ?flush_clears:bool ->
+  policy ->
+  Tool.t
+(** Defaults: [config = Mpi_sim.Config.default], [mode = Abort_on_race],
+    [flush_clears = false].
+
+    [flush_clears:true] is the negative ablation of §6(2): it treats
+    [MPI_Win_flush]/[flush_all] as if they synchronised the epoch and
+    clears the caller's trees — which is wrong, because a flush only
+    orders the {e caller}'s operations; the paper shows this produces
+    false negatives for conflicts with other origins, which is why the
+    real tool leaves flush uninstrumented. *)

@@ -1,0 +1,39 @@
+(** Common shape of a race-detection tool pluggable into the simulated
+    runtime. *)
+
+type mode =
+  | Abort_on_race
+      (** Raise {!Report.Race_abort} at the first race — the published
+          RMA-Analyzer behaviour. *)
+  | Collect  (** Record every race and keep running (harness mode). *)
+
+type bst_summary = {
+  stores : int;  (** Number of (rank, window) trees created. *)
+  nodes_final_total : int;
+      (** Sum over trees of the node count at the last epoch close (or
+          now, for trees whose epoch is still open) — the paper's
+          "number of nodes in the BST" (Table 4). *)
+  nodes_peak_total : int;
+  inserts_total : int;
+  fragments_total : int;
+  merges_total : int;
+}
+
+val empty_bst_summary : bst_summary
+
+type t = {
+  name : string;
+  observer : Mpi_sim.Event.observer;
+  races : unit -> Report.t list;
+      (** Chronological; capped at the first 1000 reports. *)
+  race_count : unit -> int;  (** Total reported, including uncapped. *)
+  bst_summary : unit -> bst_summary;
+      (** All-zero for tools that do not use interval trees. *)
+  reset : unit -> unit;  (** Forget all state (fresh run). *)
+}
+
+val flagged : t -> bool
+(** At least one race recorded. *)
+
+val baseline : t
+(** The no-tool configuration: observes nothing, costs nothing. *)

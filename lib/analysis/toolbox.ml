@@ -1,0 +1,33 @@
+type kind = Baseline | Legacy | Must | Contribution | Fragmentation_only | Order_blind | Strided
+
+let all = [ Baseline; Legacy; Must; Contribution; Fragmentation_only; Order_blind; Strided ]
+
+let name = function
+  | Baseline -> "Baseline"
+  | Legacy -> "RMA-Analyzer"
+  | Must -> "MUST-RMA"
+  | Contribution -> "Our Contribution"
+  | Fragmentation_only -> "Fragmentation-only"
+  | Order_blind -> "Order-blind"
+  | Strided -> "Strided extension"
+
+let slug = function
+  | Baseline -> "baseline"
+  | Legacy -> "legacy"
+  | Must -> "must"
+  | Contribution -> "contribution"
+  | Fragmentation_only -> "frag-only"
+  | Order_blind -> "order-blind"
+  | Strided -> "strided"
+
+let of_slug s = List.find_opt (fun k -> String.equal (slug k) s) all
+
+let make kind ~nprocs ?(config = Mpi_sim.Config.default) ?(mode = Tool.Collect) () =
+  match kind with
+  | Baseline -> Tool.baseline
+  | Legacy -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Legacy
+  | Must -> Must_rma.create ~nprocs ~config ~mode ()
+  | Contribution -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Contribution
+  | Fragmentation_only -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Fragmentation_only
+  | Order_blind -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Order_blind
+  | Strided -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Strided_extension

@@ -1,0 +1,24 @@
+(** One registry for every detector configuration, shared by the CLI,
+    the experiment harness and the examples. *)
+
+type kind =
+  | Baseline
+  | Legacy  (** Published RMA-Analyzer. *)
+  | Must  (** MUST-RMA-style happens-before baseline. *)
+  | Contribution  (** The paper's algorithm. *)
+  | Fragmentation_only  (** Ablation: §4.1 without §4.2. *)
+  | Order_blind  (** Ablation: contribution with the legacy conflict rule. *)
+  | Strided  (** The §6(3) future-work strided-merging extension. *)
+
+val all : kind list
+
+val name : kind -> string
+(** Display name, e.g. ["Our Contribution"]. *)
+
+val slug : kind -> string
+(** Command-line identifier, e.g. ["contribution"]. *)
+
+val of_slug : string -> kind option
+
+val make : kind -> nprocs:int -> ?config:Mpi_sim.Config.t -> ?mode:Tool.mode -> unit -> Tool.t
+(** Defaults: [config = Mpi_sim.Config.default], [mode = Collect]. *)

@@ -1,0 +1,142 @@
+open Mpi_sim
+
+type params = {
+  iterations : int;
+  neighbours : int;
+  cells_per_chunk : int;
+  windows : int;
+  private_loads_per_iteration : int;
+  compute_per_iteration : float;
+}
+
+let default_params =
+  {
+    iterations = 50;
+    neighbours = 1;
+    cells_per_chunk = 432;
+    windows = 2;
+    private_loads_per_iteration = 300;
+    compute_per_iteration = 4.0e-3;
+  }
+
+type summary = { checksum : float; halo_puts : int; cells_exchanged : int }
+
+let src_file = "./exchange.c"
+
+let cell_value ~src ~iter ~cell = Int64.of_int ((src * 1_000_000) + (iter * 1_000) + cell)
+
+type shared = { mutable puts : int; mutable cells : int; mutable checksum : float }
+
+let program_with_shared params shared summary_out () =
+  let rank = Mpi.comm_rank () in
+  let nprocs = Mpi.comm_size () in
+  let chunk_bytes = 8 * params.cells_per_chunk in
+  let region_bytes = params.iterations * chunk_bytes in
+  let win_bytes = nprocs * region_bytes in
+  (* Ring neighbourhood: [neighbours] peers on each side. *)
+  let peers =
+    List.concat_map
+      (fun d -> if 2 * d >= nprocs then [] else [ (rank + d) mod nprocs; (rank - d + nprocs) mod nprocs ])
+      (List.init params.neighbours (fun i -> i + 1))
+    |> List.sort_uniq compare
+    |> List.filter (fun p -> p <> rank)
+  in
+  let windows =
+    List.init params.windows (fun w ->
+        let base = Mpi.alloc ~label:(Printf.sprintf "halo_win_%d" w) ~exposed:true win_bytes in
+        (w, base, Mpi.win_create ~base ~size:win_bytes))
+  in
+  (* Send streams: per window, per peer, iterations laid back-to-back so
+     successive chunks are adjacent. *)
+  let send_base =
+    Mpi.alloc ~label:"send_buffer" ~exposed:true
+      (max 8 (params.windows * List.length peers * region_bytes))
+  in
+  let gradients = Mpi.alloc ~label:"gradients" (max 8 (8 * 4096)) in
+  Mpi.barrier ();
+  List.iter
+    (fun (w, _, win) ->
+      Mpi.win_lock_all ~loc:(Mpi.loc ~file:src_file ~line:(100 + w) "MPI_Win_lock_all") win)
+    windows;
+  for iter = 0 to params.iterations - 1 do
+    Mpi.compute params.compute_per_iteration;
+    (* Gradient sweep: private accesses the alias analysis filtered down
+       to this residue. *)
+    for k = 0 to params.private_loads_per_iteration - 1 do
+      ignore
+        (Mpi.load
+           ~loc:(Mpi.loc ~file:src_file ~line:210 "Load")
+           ~addr:(gradients + (8 * (((iter * 13) + k) mod 4096)))
+           ~len:8 ())
+    done;
+    List.iter
+      (fun (w, _, win) ->
+        List.iteri
+          (fun pi peer ->
+            (* Pack this iteration's chunk for [peer] — fresh bytes right
+               after the previous iteration's chunk. *)
+            let stream_off = ((w * List.length peers) + pi) * region_bytes in
+            let chunk_addr = send_base + stream_off + (iter * chunk_bytes) in
+            for cell = 0 to params.cells_per_chunk - 1 do
+              Mpi.store_i64
+                ~loc:(Mpi.loc ~file:src_file ~line:302 "Store")
+                ~addr:(chunk_addr + (8 * cell))
+                (cell_value ~src:rank ~iter ~cell)
+            done;
+            (* One-sided halo exchange into our slot at the peer. *)
+            let target_disp = (rank * region_bytes) + (iter * chunk_bytes) in
+            Mpi.put
+              ~loc:(Mpi.loc ~file:src_file ~line:318 "MPI_Put")
+              win ~target:peer ~target_disp ~origin_addr:chunk_addr ~len:chunk_bytes;
+            shared.puts <- shared.puts + 1;
+            shared.cells <- shared.cells + params.cells_per_chunk)
+          peers)
+      windows;
+    (* Complete our operations and synchronise: the §6(1) pattern. *)
+    List.iter
+      (fun (_, _, win) ->
+        Mpi.win_flush_all ~loc:(Mpi.loc ~file:src_file ~line:330 "MPI_Win_flush_all") win)
+      windows;
+    Mpi.barrier ()
+  done;
+  List.iter
+    (fun (w, _, win) ->
+      Mpi.win_unlock_all ~loc:(Mpi.loc ~file:src_file ~line:(400 + w) "MPI_Win_unlock_all") win)
+    windows;
+  Mpi.barrier ();
+  (* Validation: sum every received halo cell. *)
+  let local_sum = ref 0.0 in
+  List.iter
+    (fun (_, base, _) ->
+      List.iter
+        (fun peer ->
+          let region = Mpi.load ~addr:(base + (peer * region_bytes)) ~len:region_bytes () in
+          for cell = 0 to (region_bytes / 8) - 1 do
+            local_sum := !local_sum +. Int64.to_float (Bytes.get_int64_le region (cell * 8))
+          done)
+        peers)
+    windows;
+  let total = Mpi.allreduce_float !local_sum ~op:Runtime.Sum in
+  List.iter (fun (_, _, win) -> Mpi.win_free win) windows;
+  if rank = 0 then begin
+    shared.checksum <- total;
+    summary_out :=
+      { checksum = shared.checksum; halo_puts = shared.puts; cells_exchanged = shared.cells }
+  end
+
+let empty_summary = { checksum = 0.0; halo_puts = 0; cells_exchanged = 0 }
+
+let program params summary_ref =
+  let shared = { puts = 0; cells = 0; checksum = 0.0 } in
+  let cell = ref empty_summary in
+  fun () ->
+    program_with_shared params shared cell ();
+    summary_ref := !cell
+
+let run params ~nprocs ?(seed = 9) ?(config = Config.default) ?observer () =
+  let shared = { puts = 0; cells = 0; checksum = 0.0 } in
+  let cell = ref empty_summary in
+  let result =
+    Runtime.run ~nprocs ~seed ~config ?observer (program_with_shared params shared cell)
+  in
+  (result, !cell)

@@ -1,0 +1,259 @@
+open Mpi_sim
+module Graph = Minivite.Graph
+
+type params = {
+  graph : Graph.params;
+  inbox_slots : int;
+  source : int;
+  compute_per_edge : float;
+  max_levels : int;
+}
+
+let default_params =
+  {
+    graph = { Graph.default_params with Graph.n_vertices = 20_000 };
+    inbox_slots = 2_048;
+    source = 0;
+    compute_per_edge = 1.0e-7;
+    max_levels = 64;
+  }
+
+type summary = {
+  reached : int;
+  levels : int;
+  edge_relaxations : int;
+  parent_checksum : int64;
+  inbox_overflows : int;
+}
+
+let src_file = "./bfs_rma.c"
+
+let entry_bytes = 16
+
+(* Window layout per rank:
+   - two inbox banks (level parity ping-pong), each [nprocs] segments of
+     [1 + inbox_slots] 16-byte entries (slot 0 = count);
+   - the parent region: 8 bytes per owned vertex.
+   Writers fill one bank while owners drain the other; fences separate
+   the banks' roles, so no location is written and read in the same
+   epoch. *)
+let segment_bytes params = (1 + params.inbox_slots) * entry_bytes
+
+let bank_bytes params nprocs = nprocs * segment_bytes params
+
+let inbox_off params nprocs ~parity ~source ~slot =
+  (parity * bank_bytes params nprocs) + (source * segment_bytes params) + (slot * entry_bytes)
+
+let parent_off params nprocs ~local_index = (2 * bank_bytes params nprocs) + (8 * local_index)
+
+type shared = {
+  mutable relaxations : int;
+  mutable overflows : int;
+  levels : int array;  (* host mirror for validation; owners write their range *)
+}
+
+let program_with_shared params shared summary_out () =
+  let rank = Mpi.comm_rank () in
+  let nprocs = Mpi.comm_size () in
+  let graph = Graph.generate params.graph ~nprocs ~rank in
+  let n_own = max 0 (graph.Graph.owned_hi - graph.Graph.owned_lo + 1) in
+  let win_size = (2 * bank_bytes params nprocs) + (8 * max 1 n_own) in
+  let win_base = Mpi.alloc ~label:"bfs_win" ~exposed:true win_size in
+  (* The outgoing pool mirrors the two inbox banks: each entry is written
+     once per level and read by exactly one Put, so no origin buffer is
+     ever modified while an operation that reads it is in flight. *)
+  let send_pool = Mpi.alloc ~label:"send_pool" ~exposed:true (2 * bank_bytes params nprocs) in
+  let win = Mpi.win_create ~base:win_base ~size:win_size in
+  let level = Array.make (max 1 n_own) (-1) in
+  let local_index v = v - graph.Graph.owned_lo in
+  let owner_of v = Graph.owner_of ~n_global:graph.Graph.n_global ~nprocs v in
+  let store_parent v parent =
+    Mpi.store_i64
+      ~loc:(Mpi.loc ~file:src_file ~line:88 "Store")
+      ~addr:(win_base + parent_off params nprocs ~local_index:(local_index v))
+      (Int64.of_int parent)
+  in
+  let frontier = ref [] in
+  let accept v parent lvl =
+    let i = local_index v in
+    if level.(i) < 0 then begin
+      level.(i) <- lvl;
+      shared.levels.(v) <- lvl;
+      store_parent v parent;
+      frontier := v :: !frontier
+    end
+  in
+  (* carried: remote discoveries that overflowed their inbox segment this
+     level; retried next level. *)
+  let carried = ref [] in
+  Mpi.win_fence ~loc:(Mpi.loc ~file:src_file ~line:41 "MPI_Win_fence") win;
+  if Graph.owned graph params.source then accept params.source params.source 0;
+  let current_level = ref 0 in
+  let continue_bfs = ref true in
+  let levels_used = ref 0 in
+  while !continue_bfs && !current_level < params.max_levels do
+    let parity = !current_level land 1 in
+    let out_parity = 1 - parity in
+    (* Per-target slot cursors for this level's outgoing bank. *)
+    let cursors = Array.make nprocs 0 in
+    let sent = ref 0 in
+    let push_remote v parent =
+      let owner = owner_of v in
+      if cursors.(owner) >= params.inbox_slots then begin
+        shared.overflows <- shared.overflows + 1;
+        carried := (v, parent) :: !carried
+      end
+      else begin
+        cursors.(owner) <- cursors.(owner) + 1;
+        let slot = cursors.(owner) in
+        let entry = send_pool + inbox_off params nprocs ~parity:out_parity ~source:owner ~slot in
+        Mpi.store_i64 ~loc:(Mpi.loc ~file:src_file ~line:61 "Store") ~addr:entry (Int64.of_int v);
+        Mpi.store_i64
+          ~loc:(Mpi.loc ~file:src_file ~line:62 "Store")
+          ~addr:(entry + 8) (Int64.of_int parent);
+        Mpi.put
+          ~loc:(Mpi.loc ~file:src_file ~line:63 "MPI_Put")
+          win ~target:owner
+          ~target_disp:(inbox_off params nprocs ~parity:out_parity ~source:rank ~slot)
+          ~origin_addr:entry ~len:entry_bytes;
+        incr sent
+      end
+    in
+    (* Retry what overflowed last level. *)
+    let retries = !carried in
+    carried := [];
+    List.iter (fun (v, parent) -> push_remote v parent) retries;
+    (* Relax the current frontier. *)
+    let this_frontier = !frontier in
+    frontier := [];
+    List.iter
+      (fun u ->
+        let neigh = graph.Graph.adjacency.(local_index u) in
+        Mpi.compute (params.compute_per_edge *. float_of_int (Array.length neigh));
+        Array.iter
+          (fun v ->
+            shared.relaxations <- shared.relaxations + 1;
+            if Graph.owned graph v then begin
+              if level.(local_index v) < 0 then accept v u (!current_level + 1)
+            end
+            else push_remote v u)
+          neigh)
+      this_frontier;
+    (* Publish per-target counts for the bank we just filled. *)
+    for target = 0 to nprocs - 1 do
+      if cursors.(target) > 0 then begin
+        let count_src =
+          send_pool + inbox_off params nprocs ~parity:out_parity ~source:target ~slot:0
+        in
+        Mpi.store_i64 ~loc:(Mpi.loc ~file:src_file ~line:79 "Store") ~addr:count_src
+          (Int64.of_int cursors.(target));
+        Mpi.put
+          ~loc:(Mpi.loc ~file:src_file ~line:80 "MPI_Put")
+          win ~target
+          ~target_disp:(inbox_off params nprocs ~parity:out_parity ~source:rank ~slot:0)
+          ~origin_addr:count_src ~len:8
+      end
+    done;
+    Mpi.win_fence ~loc:(Mpi.loc ~file:src_file ~line:83 "MPI_Win_fence") win;
+    (* Drain the bank written during this level (parity [out_parity]):
+       the fence completed every Put. *)
+    let lvl = !current_level + 1 in
+    for source = 0 to nprocs - 1 do
+      let count_addr = win_base + inbox_off params nprocs ~parity:out_parity ~source ~slot:0 in
+      let count =
+        Int64.to_int (Mpi.load_i64 ~loc:(Mpi.loc ~file:src_file ~line:90 "Load") ~addr:count_addr ())
+      in
+      for slot = 1 to min count params.inbox_slots do
+        let addr = win_base + inbox_off params nprocs ~parity:out_parity ~source ~slot in
+        let v =
+          Int64.to_int (Mpi.load_i64 ~loc:(Mpi.loc ~file:src_file ~line:93 "Load") ~addr ())
+        in
+        let parent =
+          Int64.to_int
+            (Mpi.load_i64 ~loc:(Mpi.loc ~file:src_file ~line:94 "Load") ~addr:(addr + 8) ())
+        in
+        if Graph.owned graph v then accept v parent lvl
+      done;
+      (* Reset the drained count locally for the reuse two levels on. *)
+      Mpi.store_i64 ~loc:(Mpi.loc ~file:src_file ~line:97 "Store") ~addr:count_addr 0L
+    done;
+    let pending = List.length !frontier + !sent + List.length !carried in
+    let global_pending = Mpi.allreduce_int pending ~op:Runtime.Sum in
+    incr current_level;
+    if global_pending = 0 then continue_bfs := false else levels_used := !current_level
+  done;
+  Mpi.win_fence ~loc:(Mpi.loc ~file:src_file ~line:104 "MPI_Win_fence") win;
+  (* Validation: parent data really sits in window memory. *)
+  let checksum = ref 0L in
+  let reached_local = ref 0 in
+  for i = 0 to n_own - 1 do
+    if level.(i) >= 0 then begin
+      incr reached_local;
+      let v = graph.Graph.owned_lo + i in
+      let parent =
+        Mpi.load_i64
+          ~loc:(Mpi.loc ~file:src_file ~line:112 "Load")
+          ~addr:(win_base + parent_off params nprocs ~local_index:i)
+          ()
+      in
+      checksum := Int64.add !checksum (Int64.logxor (Int64.of_int v) parent)
+    end
+  done;
+  let reached = Mpi.allreduce_int !reached_local ~op:Runtime.Sum in
+  let checksum_total = Mpi.allreduce_i64 !checksum ~op:Runtime.Sum in
+  let levels_total = Mpi.allreduce_int !levels_used ~op:Runtime.Max in
+  Mpi.win_free win;
+  if rank = 0 then
+    summary_out :=
+      {
+        reached;
+        levels = levels_total;
+        edge_relaxations = shared.relaxations;
+        parent_checksum = checksum_total;
+        inbox_overflows = shared.overflows;
+      }
+
+let empty_summary =
+  { reached = 0; levels = 0; edge_relaxations = 0; parent_checksum = 0L; inbox_overflows = 0 }
+
+let program params summary_ref =
+  let shared =
+    { relaxations = 0; overflows = 0; levels = Array.make params.graph.Graph.n_vertices (-1) }
+  in
+  let cell = ref empty_summary in
+  fun () ->
+    program_with_shared params shared cell ();
+    summary_ref := !cell
+
+let run_with_levels params ~nprocs ?(seed = 7) ?(config = Config.default) ?observer () =
+  let shared =
+    { relaxations = 0; overflows = 0; levels = Array.make params.graph.Graph.n_vertices (-1) }
+  in
+  let cell = ref empty_summary in
+  let result =
+    Runtime.run ~nprocs ~seed ~config ?observer (program_with_shared params shared cell)
+  in
+  (result, !cell, shared.levels)
+
+let run params ~nprocs ?seed ?config ?observer () =
+  let result, summary, _ = run_with_levels params ~nprocs ?seed ?config ?observer () in
+  (result, summary)
+
+let reference_bfs graph_params ~source =
+  let full = Graph.generate graph_params ~nprocs:1 ~rank:0 in
+  let n = graph_params.Graph.n_vertices in
+  let level = Array.make n (-1) in
+  level.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun v ->
+        if level.(v) < 0 then begin
+          level.(v) <- level.(u) + 1;
+          Queue.add v q
+        end)
+      full.Graph.adjacency.(u)
+  done;
+  level

@@ -1,0 +1,65 @@
+(** Graph500-style distributed breadth-first search over MPI-RMA — the
+    paper's §2.1 motivating workload ("Scalable Graph500 design with
+    MPI-3 RMA", Li et al. 2014, got a 2x speedup from one-sided
+    communication).
+
+    Level-synchronised BFS with active-target (fence) synchronisation:
+    each rank owns a contiguous vertex range (reusing the MiniVite graph
+    generator); every level, discovered remote vertices are pushed with
+    one MPI_Put per (owner, vertex) into per-source inbox slots of the
+    owner's window, fences separate the levels, and owners drain their
+    inboxes between fences. Parent data flows through the simulated
+    window memory itself — the checksum below validates the real bytes
+    moved by the Puts.
+
+    Window layout per rank: [nprocs] inbox segments of
+    [inbox_slots] 16-byte entries each ([vertex, parent]); rank [s]
+    writes its k-th discovery of the level into segment [s], slot [k].
+    Slots are reused across levels — safe because fences separate the
+    epochs, which the detectors understand. *)
+
+type params = {
+  graph : Minivite.Graph.params;
+  inbox_slots : int;  (** Per-source inbox capacity per level. *)
+  source : int;  (** BFS root vertex. *)
+  compute_per_edge : float;
+  max_levels : int;
+}
+
+val default_params : params
+
+type summary = {
+  reached : int;  (** Vertices with a finite BFS level. *)
+  levels : int;  (** Levels until the frontier emptied. *)
+  edge_relaxations : int;
+  parent_checksum : int64;
+      (** Sum over reached non-root vertices of (vertex xor parent),
+          computed from window memory — validates the data movement. *)
+  inbox_overflows : int;  (** Discoveries dropped to capacity (retried next level). *)
+}
+
+val program : params -> summary ref -> unit -> unit
+
+val run :
+  params ->
+  nprocs:int ->
+  ?seed:int ->
+  ?config:Mpi_sim.Config.t ->
+  ?observer:Mpi_sim.Event.observer ->
+  unit ->
+  Mpi_sim.Runtime.result * summary
+
+val run_with_levels :
+  params ->
+  nprocs:int ->
+  ?seed:int ->
+  ?config:Mpi_sim.Config.t ->
+  ?observer:Mpi_sim.Event.observer ->
+  unit ->
+  Mpi_sim.Runtime.result * summary * int array
+(** Also returns the per-vertex BFS levels ([-1] = unreached). *)
+
+val reference_bfs : Minivite.Graph.params -> source:int -> int array
+(** Sequential BFS levels over the same generated graph (one adjacency
+    per owner, like the distributed run sees it); [-1] = unreachable.
+    Oracle for tests. *)

@@ -1,0 +1,255 @@
+open Mpi_sim
+
+type params = {
+  graph : Graph.params;
+  iterations : int;
+  compute_per_edge : float;
+  private_loads_every : int;
+  inject_race : bool;
+}
+
+let default_params =
+  {
+    graph = Graph.default_params;
+    iterations = 4;
+    compute_per_edge = 2.0e-8;
+    private_loads_every = 4;
+    inject_race = false;
+  }
+
+type summary = {
+  modularity : float;
+  total_changes : int;
+  communities : int;
+  ghost_fetches : int;
+  update_puts : int;
+}
+
+let record_stride = 16
+
+let src_file = "./dspl.hpp"
+
+(* Host-side mirror shared by all rank fibers: the current community of
+   every vertex. The simulator is single-threaded, so this is just the
+   algorithm's state; simulated memory carries the same values for the
+   owned records' initial communities, moved by the real Gets/Puts. *)
+type shared = {
+  community : int array;
+  mutable changes : int;
+  mutable gets : int;
+  mutable puts : int;
+}
+
+let neighbour_ranks graph ghosts =
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun g ->
+      let r = Graph.owner_of ~n_global:graph.Graph.n_global ~nprocs:graph.Graph.nprocs g in
+      Hashtbl.replace seen r ())
+    ghosts;
+  let out = Hashtbl.fold (fun r () acc -> r :: acc) seen [] in
+  let arr = Array.of_list out in
+  Array.sort compare arr;
+  arr
+
+let best_community counts self =
+  (* Most frequent neighbouring community; ties towards the smaller id. *)
+  Hashtbl.fold
+    (fun comm freq (best_comm, best_freq) ->
+      if freq > best_freq || (freq = best_freq && comm < best_comm) then (comm, freq)
+      else (best_comm, best_freq))
+    counts (self, 0)
+
+let make_shared params =
+  {
+    community = Array.init params.graph.Graph.n_vertices (fun v -> v);
+    changes = 0;
+    gets = 0;
+    puts = 0;
+  }
+
+(* Per-rank window layout:
+   [0 .. 16*n_own)  vertex records: pastComm bytes [0..7] of each 16-byte
+                    record (remote ranks Get these), currComm bytes
+                    [8..15] (the owner's working attribute) — two fields
+                    of the same object that are never part of one access,
+                    the paper's non-adjacency pattern (§5.3);
+   [16*n_own ..]    one 16-byte inbox slot per source rank, receiving
+                    that rank's per-iteration update digest via MPI_Put
+                    (the Figure 9 commwin write).
+   Update marks live in a separate exposed array at stride 16. *)
+let program_with_shared params shared summary_out () =
+  let rank = Mpi.comm_rank () in
+  let nprocs = Mpi.comm_size () in
+  let graph = Graph.generate params.graph ~nprocs ~rank in
+  let n_own = max 0 (graph.Graph.owned_hi - graph.Graph.owned_lo + 1) in
+  let ghosts = Graph.ghosts graph in
+  let n_ghost = Array.length ghosts in
+  let nbr_ranks = neighbour_ranks graph ghosts in
+  let iters = params.iterations in
+  let inbox_off = record_stride * n_own in
+  let win_size = inbox_off + (record_stride * nprocs) in
+  let win_base = Mpi.alloc ~label:"commwin" ~exposed:true (max win_size record_stride) in
+  (* Origin-side buffers: fresh 16-byte slots for Get landing zones (one
+     per fetch, never reused) and per-(iteration, neighbour) Put source
+     digests. *)
+  let ghost_buf =
+    Mpi.alloc ~label:"ghost_comms" ~exposed:true
+      (max record_stride (record_stride * (n_ghost * (iters + 1))))
+  in
+  let scdata =
+    Mpi.alloc ~label:"scdata" ~exposed:true
+      (max record_stride (record_stride * iters * max 1 (Array.length nbr_ranks)))
+  in
+  (* Per-vertex update marks: 8 bytes used out of a 16-byte stride, so
+     marks of neighbouring vertices are never adjacent — the attributes-
+     of-adjacent-objects pattern the paper blames for MiniVite's low
+     merging rate (§5.3, discussion (3)). *)
+  let updated_buf = Mpi.alloc ~label:"updated" ~exposed:true (max 16 (16 * n_own)) in
+  (* Private compute state the alias analysis proved RMA-free. *)
+  let adjacency_buf = Mpi.alloc ~label:"adjacency" (max 8 (8 * graph.Graph.n_edges_local)) in
+  (* Initial communities land in the window before any epoch opens. *)
+  for i = 0 to n_own - 1 do
+    Mpi.store_i64
+      ~loc:(Mpi.loc ~file:src_file ~line:402 "Store")
+      ~addr:(win_base + (i * record_stride))
+      (Int64.of_int (graph.Graph.owned_lo + i))
+  done;
+  let win = Mpi.win_create ~base:win_base ~size:(max win_size record_stride) in
+  Mpi.barrier ();
+  let record_disp g =
+    let owner = Graph.owner_of ~n_global:graph.Graph.n_global ~nprocs g in
+    let lo, _ = Graph.partition ~n_global:graph.Graph.n_global ~nprocs ~rank:owner in
+    (owner, (g - lo) * record_stride)
+  in
+  let my_changes = ref 0 in
+  let edge_visits = ref 0 in
+  (* Delta fetching, as the application's update tracking does: iteration
+     0 fetches every ghost; later iterations only re-fetch ghosts whose
+     community changed since this rank last saw them. *)
+  let last_seen = Hashtbl.create (max 16 n_ghost) in
+  let fetch_count = ref 0 in
+  let counts = Hashtbl.create 16 in
+  for iter = 0 to iters - 1 do
+    Mpi.win_lock_all ~loc:(Mpi.loc ~file:src_file ~line:455 "MPI_Win_lock_all") win;
+    (* Ghost community fetch. *)
+    Array.iter
+      (fun g ->
+        let current = shared.community.(g) in
+        let stale =
+          match Hashtbl.find_opt last_seen g with None -> true | Some seen -> seen <> current
+        in
+        if stale then begin
+          Hashtbl.replace last_seen g current;
+          let owner, disp = record_disp g in
+          let origin_addr = ghost_buf + (record_stride * !fetch_count) in
+          incr fetch_count;
+          Mpi.get
+            ~loc:(Mpi.loc ~file:src_file ~line:501 "MPI_Get")
+            win ~target:owner ~target_disp:disp ~origin_addr ~len:8;
+          shared.gets <- shared.gets + 1
+        end)
+      ghosts;
+    (* Label-propagation sweep over owned vertices. *)
+    for i = 0 to n_own - 1 do
+      let v = graph.Graph.owned_lo + i in
+      (* The owner works on the currComm attribute (second half of the
+         record); remote ranks Get the pastComm attribute (first half) —
+         two fields of the same object, never part of one access. *)
+      ignore
+        (Mpi.load
+           ~loc:(Mpi.loc ~file:src_file ~line:478 "Load")
+           ~addr:(win_base + (i * record_stride) + 8)
+           ~len:8 ());
+      Hashtbl.reset counts;
+      let neigh = graph.Graph.adjacency.(i) in
+      Array.iteri
+        (fun j u ->
+          incr edge_visits;
+          if !edge_visits mod params.private_loads_every = 0 then
+            ignore
+              (Mpi.load
+                 ~loc:(Mpi.loc ~file:src_file ~line:523 "Load")
+                 ~addr:(adjacency_buf + (8 * (((i * 7) + j) mod max 1 graph.Graph.n_edges_local)))
+                 ~len:8 ());
+          let c = shared.community.(u) in
+          Hashtbl.replace counts c (1 + Option.value (Hashtbl.find_opt counts c) ~default:0))
+        neigh;
+      Mpi.compute (params.compute_per_edge *. float_of_int (Array.length neigh));
+      let self = shared.community.(v) in
+      let self_freq = Option.value (Hashtbl.find_opt counts self) ~default:0 in
+      let best, freq = best_community counts self in
+      if freq > self_freq && best <> self then begin
+        shared.community.(v) <- best;
+        incr my_changes;
+        (* Mark the vertex as updated. *)
+        Mpi.store_i64
+          ~loc:(Mpi.loc ~file:src_file ~line:489 "Store")
+          ~addr:(updated_buf + (16 * i))
+          (Int64.of_int (iter + 1))
+      end
+    done;
+    (* Update digests: one 16-byte message per neighbouring rank into our
+       inbox slot there (the Figure 9 commwin Put). *)
+    Array.iteri
+      (fun ni nr ->
+        let origin_addr = scdata + (record_stride * ((iter * max 1 (Array.length nbr_ranks)) + ni)) in
+        let target_disp = inbox_off + (record_stride * rank) in
+        let put line =
+          Mpi.put
+            ~loc:(Mpi.loc ~file:src_file ~line "MPI_Put")
+            win ~target:nr ~target_disp ~origin_addr ~len:16;
+          shared.puts <- shared.puts + 1
+        in
+        put 612;
+        if params.inject_race && iter = 0 && ni = 0 then put 614)
+      nbr_ranks;
+    Mpi.win_unlock_all ~loc:(Mpi.loc ~file:src_file ~line:702 "MPI_Win_unlock_all") win;
+    Mpi.barrier ()
+  done;
+  (* Post-phase: modularity-style quality metric — the fraction of edge
+     endpoints whose communities agree, reduced across ranks. *)
+  let agree = ref 0 in
+  for i = 0 to n_own - 1 do
+    let v = graph.Graph.owned_lo + i in
+    Array.iter
+      (fun u -> if shared.community.(v) = shared.community.(u) then incr agree)
+      graph.Graph.adjacency.(i)
+  done;
+  let agree_total = Mpi.allreduce_int !agree ~op:Runtime.Sum in
+  let edges_total = Mpi.allreduce_int graph.Graph.n_edges_local ~op:Runtime.Sum in
+  let changes_total = Mpi.allreduce_int !my_changes ~op:Runtime.Sum in
+  Mpi.win_free win;
+  if rank = 0 then begin
+    let communities =
+      let seen = Hashtbl.create 1024 in
+      Array.iter (fun c -> Hashtbl.replace seen c ()) shared.community;
+      Hashtbl.length seen
+    in
+    summary_out :=
+      {
+        modularity = float_of_int agree_total /. float_of_int (max 1 edges_total);
+        total_changes = changes_total;
+        communities;
+        ghost_fetches = shared.gets;
+        update_puts = shared.puts;
+      }
+  end
+
+let empty_summary =
+  { modularity = 0.0; total_changes = 0; communities = 0; ghost_fetches = 0; update_puts = 0 }
+
+let program params summary_ref =
+  let shared = make_shared params in
+  let cell = ref empty_summary in
+  fun () ->
+    program_with_shared params shared cell ();
+    summary_ref := !cell
+
+let run params ~nprocs ?(seed = 5) ?(config = Config.default) ?observer () =
+  let shared = make_shared params in
+  let cell = ref empty_summary in
+  let result =
+    Runtime.run ~nprocs ~seed ~config ?observer (program_with_shared params shared cell)
+  in
+  (result, !cell)

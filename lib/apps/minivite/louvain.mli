@@ -1,0 +1,61 @@
+(** MiniVite-like workload: one phase of distributed Louvain community
+    detection (label-propagation sweep) over the simulated MPI-RMA
+    runtime, following the communication structure the paper describes
+    for miniVite (§5.3): passive-target synchronisation, ghost-community
+    fetches with MPI_Get, and per-peer update messages with MPI_Put into
+    a communication window (the Figure 9 [commwin]).
+
+    Window layout on each rank (all offsets in bytes):
+    - [0 .. 16*n_own)        — per-owned-vertex records: pastComm in the
+      first 8 bytes (remote ranks Get these), currComm in the second 8
+      (owner-local) — the attributes-of-adjacent-objects pattern that
+      keeps merging rare on this workload (§5.3);
+    - [16*n_own ..]          — one 16-byte inbox slot per source rank,
+      written remotely by MPI_Put each iteration.
+
+    One lock_all/unlock_all epoch per iteration; every one-sided
+    operation of an epoch lands in a fresh or disjoint slot, so the
+    phase is race-free: the detectors must stay silent unless
+    [inject_race] duplicates one MPI_Put, reproducing the paper's
+    Figure 9 fault injection at dspl.hpp:612/614.
+
+    Algorithmic values flow through a shared host-side mirror of the
+    community array (the simulator is single-threaded); the simulated
+    memory still carries the real bytes, and the instrumented access
+    stream — RMA calls, window accesses, sampled private compute loads —
+    is what the detectors consume, mirroring what the LLVM pass +
+    PMPI interface deliver for the C++ application. *)
+
+type params = {
+  graph : Graph.params;
+  iterations : int;
+  compute_per_edge : float;  (** Simulated seconds of work per edge visit. *)
+  private_loads_every : int;
+      (** Emit one instrumented private (non-exposed) load every N edge
+          visits — the residue the alias analysis could not discard.
+          ThreadSanitizer instruments all of them. *)
+  inject_race : bool;  (** Duplicate one MPI_Put (Figure 9 / Code 3). *)
+}
+
+val default_params : params
+
+type summary = {
+  modularity : float;
+  total_changes : int;  (** Vertices that switched communities. *)
+  communities : int;  (** Distinct communities at the end. *)
+  ghost_fetches : int;  (** MPI_Get operations issued, all ranks. *)
+  update_puts : int;  (** MPI_Put operations issued, all ranks. *)
+}
+
+val program : params -> summary ref -> unit -> unit
+(** Rank program for {!Mpi_sim.Runtime.run}; the last rank to finish
+    writes the summary. *)
+
+val run :
+  params ->
+  nprocs:int ->
+  ?seed:int ->
+  ?config:Mpi_sim.Config.t ->
+  ?observer:Mpi_sim.Event.observer ->
+  unit ->
+  Mpi_sim.Runtime.result * summary

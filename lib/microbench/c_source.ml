@@ -1,0 +1,108 @@
+open Scenario
+
+(* The generated programs mirror the paper's Figure 8 style: a window
+   location X, a local buffer buf, two operations in one
+   lock_all/unlock_all epoch. Rank 0 is ORIGIN1, rank 1 TARGET, rank 2
+   ORIGIN2 (only compiled in when used). *)
+
+let op_c ~which ~(s : t) (op, actor) role =
+  let rank = actor_rank actor in
+  let overlapping = s.variant = Overlapping || which = `First in
+  let slot = match which with `First -> "SLOT_A" | `Second -> "SLOT_B" in
+  let shared_expr in_window =
+    if in_window then if overlapping then "win_mem + SHARED_OFF" else "win_mem + SHARED2_OFF"
+    else if overlapping then "shared_buf"
+    else "shared2_buf"
+  in
+  let in_window = match s.place with Origin_in | Target_in -> true | _ -> false in
+  let owner = place_owner_rank s.place in
+  let lines =
+    match (op, role) with
+    | Load, As_local -> [ Printf.sprintf "tmp = *(%s); /* Load */" (shared_expr in_window) ]
+    | Store, As_local -> [ Printf.sprintf "*(%s) = 1234; /* Store */" (shared_expr in_window) ]
+    | Get, As_origin_buffer ->
+        [
+          Printf.sprintf
+            "MPI_Get(%s, 1, MPI_INT, %d, %s, 1, MPI_INT, win);"
+            (shared_expr in_window)
+            (if rank = 0 then 1 else 0)
+            slot;
+        ]
+    | Put, As_origin_buffer ->
+        [
+          Printf.sprintf
+            "MPI_Put(%s, 1, MPI_INT, %d, %s, 1, MPI_INT, win);"
+            (shared_expr in_window)
+            (if rank = 0 then 1 else 0)
+            slot;
+        ]
+    | Get, As_remote_target ->
+        [
+          Printf.sprintf "MPI_Get(private_%s, 1, MPI_INT, %d, %s, 1, MPI_INT, win);"
+            (match which with `First -> "a" | `Second -> "b")
+            owner
+            (if overlapping then "SHARED_DISP" else "SHARED2_DISP");
+        ]
+    | Put, As_remote_target ->
+        [
+          Printf.sprintf "MPI_Put(private_%s, 1, MPI_INT, %d, %s, 1, MPI_INT, win);"
+            (match which with `First -> "a" | `Second -> "b")
+            owner
+            (if overlapping then "SHARED_DISP" else "SHARED2_DISP");
+        ]
+    | (Load | Store), (As_origin_buffer | As_remote_target) | (Get | Put), As_local ->
+        invalid_arg "C_source.op_c: inconsistent scenario"
+  in
+  List.map (fun l -> Printf.sprintf "  if (rank == %d) %s" rank l) lines
+
+let emit (s : t) =
+  let in_window = match s.place with Origin_in | Target_in -> true | _ -> false in
+  let stack = s.stack_shared in
+  let buf = Buffer.create 2048 in
+  let line fmt = Printf.ksprintf (fun str -> Buffer.add_string buf str; Buffer.add_char buf '\n') fmt in
+  line "/* %s — generated from the suite description (SC-W 2023, section 5.2)." s.name;
+  line "   Ground truth: %s. */" (if s.racy then "DATA RACE" else "safe");
+  line "#include <mpi.h>";
+  line "#include <stdlib.h>";
+  line "#include <stdio.h>";
+  line "";
+  line "#define SHARED_OFF   2";
+  line "#define SHARED2_OFF  4";
+  line "#define SHARED_DISP  2";
+  line "#define SHARED2_DISP 4";
+  line "#define SLOT_A       6";
+  line "#define SLOT_B       8";
+  line "";
+  line "int main(int argc, char **argv) {";
+  line "  int rank, tmp = 0;";
+  line "  MPI_Init(&argc, &argv);";
+  line "  MPI_Comm_rank(MPI_COMM_WORLD, &rank);";
+  (if stack && in_window then line "  int win_mem[16]; /* stack array: window over automatic storage */"
+   else line "  int *win_mem = malloc(16 * sizeof(int));");
+  (if stack && not in_window then
+     line "  int shared_stack[4]; int *shared_buf = shared_stack; /* stack array */"
+   else line "  int *shared_buf = malloc(4 * sizeof(int));");
+  line "  int *shared2_buf = malloc(4 * sizeof(int));";
+  line "  int private_a[1], private_b[1];";
+  line "  MPI_Win win;";
+  line "  MPI_Win_create(win_mem, 16 * sizeof(int), sizeof(int), MPI_INFO_NULL,";
+  line "                 MPI_COMM_WORLD, &win);";
+  line "  MPI_Win_lock_all(0, win);";
+  List.iter (line "%s") (op_c ~which:`First ~s s.first s.first_role);
+  List.iter (line "%s") (op_c ~which:`Second ~s s.second s.second_role);
+  line "  MPI_Win_unlock_all(win);";
+  line "  MPI_Win_free(&win);";
+  line "  (void)tmp; (void)private_a; (void)private_b; (void)shared2_buf;";
+  line "  MPI_Finalize();";
+  line "  return 0;";
+  line "}";
+  Buffer.contents buf
+
+let emit_all_to ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun s ->
+      let oc = open_out (Filename.concat dir (s.name ^ ".c")) in
+      output_string oc (emit s);
+      close_out oc)
+    all

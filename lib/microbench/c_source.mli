@@ -1,0 +1,13 @@
+(** Render a scenario as the C program the paper's suite would contain.
+
+    The emitted code is a faithful MPI C skeleton of the scenario —
+    window creation over a stack or heap buffer, a
+    lock_all/unlock_all passive-target epoch, the two operations with
+    their callers — so the suite can be inspected, published, or (on a
+    machine with a real MPI) compiled against the original tools. *)
+
+val emit : Scenario.t -> string
+(** The complete C translation unit for one scenario. *)
+
+val emit_all_to : dir:string -> unit
+(** Write every scenario to [dir]/<name>.c (creates the directory). *)

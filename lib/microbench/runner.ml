@@ -1,0 +1,134 @@
+open Mpi_sim
+
+type verdict = {
+  scenario : Scenario.t;
+  flagged : bool;
+  reports : Rma_analysis.Report.t list;
+}
+
+type outcome = True_positive | False_positive | True_negative | False_negative
+
+let classify v =
+  match (v.scenario.Scenario.racy, v.flagged) with
+  | true, true -> True_positive
+  | true, false -> False_negative
+  | false, true -> False_positive
+  | false, false -> True_negative
+
+let outcome_name = function
+  | True_positive -> "TP"
+  | False_positive -> "FP"
+  | True_negative -> "TN"
+  | False_negative -> "FN"
+
+(* Scenario memory layout, per rank:
+   - a 64-byte window (exposed; stack storage when the scenario says the
+     shared location is a stack array inside the window);
+   - in-window shared location: window displacement 8 (second location
+     16 for disjoint variants);
+   - out-of-window shared location: a dedicated 8-byte buffer;
+   - each RMA call uses a private window displacement (24 for the first
+     operation, 32 for the second) for the side of the call that does
+     NOT touch the shared location, so the two operations can only ever
+     conflict through the shared location itself. *)
+
+let shared_disp = 8
+let disjoint_disp = 16
+let private_disp = function `First -> 24 | `Second -> 32
+
+let program scenario () =
+  let open Scenario in
+  let s = scenario in
+  let rank = Mpi.comm_rank () in
+  let in_window = match s.place with Origin_in | Target_in -> true | _ -> false in
+  let owner = place_owner_rank s.place in
+  let win_storage =
+    if in_window && s.stack_shared && rank = owner then Memory.Stack else Memory.Heap
+  in
+  let win_base = Mpi.alloc ~label:"window" ~storage:win_storage ~exposed:true 64 in
+  (* The out-of-window shared buffer lives in the owner's space; other
+     ranks allocate a placeholder to keep layouts identical. *)
+  let shared_buf =
+    let storage = if s.stack_shared && not in_window then Memory.Stack else Memory.Heap in
+    Mpi.alloc ~label:"shared" ~storage ~exposed:true 8
+  in
+  let win = Mpi.win_create ~base:win_base ~size:64 in
+  Mpi.win_lock_all win;
+  let loc_of which =
+    let op, _ = (match which with `First -> s.first | `Second -> s.second) in
+    let line = match which with `First -> 10 | `Second -> 20 in
+    let mpi_name =
+      match op with
+      | Get -> "MPI_Get"
+      | Put -> "MPI_Put"
+      | Load -> "Load"
+      | Store -> "Store"
+    in
+    Mpi.loc ~file:(s.name ^ ".c") ~line mpi_name
+  in
+  (* Address of the location an operation touches in the shared place:
+     the canonical shared location for the first op (and the second in
+     overlapping variants), a disjoint one otherwise. *)
+  let place_addr which =
+    let use_disjoint = s.variant = Disjoint && which = `Second in
+    if in_window then win_base + if use_disjoint then disjoint_disp else shared_disp
+    else if use_disjoint then Mpi.alloc ~label:"disjoint" ~exposed:true 8
+    else shared_buf
+  in
+  let run_op which (op, actor) role =
+    if rank = actor_rank actor then begin
+      let loc = loc_of which in
+      match (op, role) with
+      | Load, As_local -> ignore (Mpi.load ~loc ~addr:(place_addr which) ~len:8 ())
+      | Store, As_local -> Mpi.store ~loc ~addr:(place_addr which) (Bytes.make 8 'x')
+      | (Get | Put), As_origin_buffer ->
+          (* The shared location is this rank's local buffer; the remote
+             side goes to a private slot in the other rank's window. *)
+          let target = if actor_rank actor = 0 then 1 else 0 in
+          let disp = private_disp which in
+          let origin_addr = place_addr which in
+          if op = Get then Mpi.get ~loc win ~target ~target_disp:disp ~origin_addr ~len:8
+          else Mpi.put ~loc win ~target ~target_disp:disp ~origin_addr ~len:8
+      | (Get | Put), As_remote_target ->
+          (* The shared location is in the owner's window; this rank
+             supplies a private origin buffer. *)
+          let target = owner in
+          let disp =
+            if s.variant = Disjoint && which = `Second then disjoint_disp else shared_disp
+          in
+          let origin_addr = Mpi.alloc ~label:"private_origin" ~exposed:true 8 in
+          if op = Get then Mpi.get ~loc win ~target ~target_disp:disp ~origin_addr ~len:8
+          else Mpi.put ~loc win ~target ~target_disp:disp ~origin_addr ~len:8
+      | (Load | Store), (As_origin_buffer | As_remote_target) | (Get | Put), As_local ->
+          invalid_arg "Runner.program: inconsistent scenario"
+    end
+  in
+  (* Same-process pairs follow program order naturally. Cross-process
+     pairs are deliberately unsynchronised, as in the suite's C codes:
+     cross-process conflicts are direction-independent, so the verdict
+     does not depend on the interleaving. *)
+  run_op `First s.first s.first_role;
+  run_op `Second s.second s.second_role;
+  Mpi.win_unlock_all win;
+  Mpi.win_free win
+
+let run ?(seed = 11) ~tool scenario =
+  tool.Rma_analysis.Tool.reset ();
+  let config = { Config.default with Config.analysis_overhead_scale = 0.0 } in
+  (try ignore (Runtime.run ~nprocs:3 ~seed ~config ~observer:tool.Rma_analysis.Tool.observer (program scenario))
+   with Rma_analysis.Report.Race_abort _ -> ());
+  let reports = tool.Rma_analysis.Tool.races () in
+  { scenario; flagged = reports <> []; reports }
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+let score ?seed ~tool scenarios =
+  List.fold_left
+    (fun acc scenario ->
+      match classify (run ?seed ~tool scenario) with
+      | True_positive -> { acc with tp = acc.tp + 1 }
+      | False_positive -> { acc with fp = acc.fp + 1 }
+      | True_negative -> { acc with tn = acc.tn + 1 }
+      | False_negative -> { acc with fn = acc.fn + 1 })
+    { tp = 0; fp = 0; tn = 0; fn = 0 }
+    scenarios

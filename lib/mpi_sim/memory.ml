@@ -1,0 +1,74 @@
+open Rma_access
+
+type storage = Stack | Heap
+
+type allocation = {
+  addr : int;
+  len : int;
+  storage : storage;
+  exposed : bool;
+  label : string;
+}
+
+type t = {
+  mutable data : Bytes.t;
+  mutable brk : int;  (* next free address *)
+  mutable allocations : allocation list;  (* most recent first *)
+}
+
+let create ~size = { data = Bytes.make size '\000'; brk = 0; allocations = [] }
+
+let size t = t.brk
+
+let grow t needed =
+  let cur = Bytes.length t.data in
+  if needed > cur then begin
+    let target = ref (max cur 1024) in
+    while !target < needed do
+      target := !target * 2
+    done;
+    let next = Bytes.make !target '\000' in
+    Bytes.blit t.data 0 next 0 cur;
+    t.data <- next
+  end
+
+let alloc t ?(label = "") ?(storage = Heap) ?(exposed = false) n =
+  if n <= 0 then invalid_arg "Memory.alloc: size must be positive";
+  let addr = (t.brk + 7) land lnot 7 in
+  grow t (addr + n);
+  t.brk <- addr + n;
+  t.allocations <- { addr; len = n; storage; exposed; label } :: t.allocations;
+  addr
+
+let allocation_at t a =
+  List.find_opt (fun al -> al.addr <= a && a < al.addr + al.len) t.allocations
+
+let check_bounds t ~addr ~len ~what =
+  if len < 0 || addr < 0 || addr + len > t.brk then
+    invalid_arg (Printf.sprintf "Memory.%s: [%d, %d) outside reserved [0, %d)" what addr (addr + len) t.brk)
+
+let read t ~addr ~len =
+  check_bounds t ~addr ~len ~what:"read";
+  Bytes.sub t.data addr len
+
+let write t ~addr ~data =
+  check_bounds t ~addr ~len:(Bytes.length data) ~what:"write";
+  Bytes.blit data 0 t.data addr (Bytes.length data)
+
+let read_int64 t ~addr =
+  check_bounds t ~addr ~len:8 ~what:"read_int64";
+  Bytes.get_int64_le t.data addr
+
+let write_int64 t ~addr v =
+  check_bounds t ~addr ~len:8 ~what:"write_int64";
+  Bytes.set_int64_le t.data addr v
+
+let intersects_allocation iv al =
+  let al_iv = Interval.of_range ~addr:al.addr ~len:al.len in
+  Interval.overlaps iv al_iv
+
+let interval_exposed t iv =
+  List.exists (fun al -> al.exposed && intersects_allocation iv al) t.allocations
+
+let interval_on_stack t iv =
+  List.exists (fun al -> al.storage = Stack && intersects_allocation iv al) t.allocations

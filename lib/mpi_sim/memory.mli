@@ -1,0 +1,54 @@
+open Rma_access
+
+(** Per-rank address space.
+
+    Each simulated rank owns a flat byte array plus a bump allocator.
+    Allocations carry two properties the detectors care about:
+
+    - [storage]: [Stack] or [Heap]. ThreadSanitizer does not instrument
+      stack arrays (the MUST-RMA false negatives of Table 2/3), so the
+      TSan-style filter needs to know where a byte lives.
+    - [exposed]: whether the allocation may be involved in RMA — the
+      result the LLVM alias analysis would compute statically. Local
+      accesses to non-exposed allocations are filtered out for the
+      RMA-Analyzer-family tools but still instrumented by
+      ThreadSanitizer (which instruments everything), reproducing the
+      over-instrumentation overhead gap of §5.3. *)
+
+type storage = Stack | Heap
+
+type allocation = {
+  addr : int;
+  len : int;
+  storage : storage;
+  exposed : bool;
+  label : string;
+}
+
+type t
+
+val create : size:int -> t
+
+val size : t -> int
+
+val alloc : t -> ?label:string -> ?storage:storage -> ?exposed:bool -> int -> int
+(** [alloc t n] reserves [n] bytes and returns the base address. Defaults:
+    [storage = Heap], [exposed = false], 8-byte alignment. The backing
+    array grows on demand. *)
+
+val allocation_at : t -> int -> allocation option
+(** The allocation containing an address, if any. *)
+
+val read : t -> addr:int -> len:int -> Bytes.t
+(** Raises [Invalid_argument] when out of bounds of the reserved space. *)
+
+val write : t -> addr:int -> data:Bytes.t -> unit
+
+val read_int64 : t -> addr:int -> int64
+val write_int64 : t -> addr:int -> int64 -> unit
+
+val interval_exposed : t -> Interval.t -> bool
+(** Does the interval intersect any [exposed] allocation? *)
+
+val interval_on_stack : t -> Interval.t -> bool
+(** Does the interval intersect any [Stack] allocation? *)

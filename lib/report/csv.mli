@@ -1,0 +1,11 @@
+(** Minimal CSV writing (RFC-4180-style quoting) for exporting
+    experiment data to external plotting tools. *)
+
+val escape_field : string -> string
+(** Quotes the field when it contains commas, quotes or newlines. *)
+
+val line : string list -> string
+(** One CSV record, no trailing newline. *)
+
+val write : path:string -> header:string list -> string list list -> unit
+(** Writes header + rows to [path]. *)

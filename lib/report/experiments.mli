@@ -1,0 +1,86 @@
+(** One entry point per table/figure of the paper's evaluation (§5).
+
+    Every function renders a paper-shaped text table (plus explanatory
+    header) and returns the underlying numbers so tests can pin the
+    qualitative claims. Sizes default to one tenth of the paper's
+    workloads so the full set regenerates in minutes; pass
+    [~scale:1.0] for paper-size runs. *)
+
+type verdict_row = { code : string; legacy : bool; must : bool; contribution : bool }
+
+val table2 : unit -> verdict_row list * string
+(** Verdicts of the three tools on the four §5.2 example codes. *)
+
+type confusion_row = {
+  tool : string;
+  fp : int;
+  fn : int;
+  tp : int;
+  tn : int;
+}
+
+val table3 : unit -> confusion_row list * string
+(** Confusion matrices over the full 154-code suite. *)
+
+type table4_row = {
+  ranks : int;
+  vertices : int;
+  legacy_nodes : int;
+  contribution_nodes : int;
+  reduction : float;  (** Fraction in [0,1]. *)
+}
+
+val table4 : ?scale:float -> ?ranks:int list -> unit -> table4_row list * string
+(** MiniVite BST node counts, 32–256 ranks, two input sizes
+    (scale × 640 000 and scale × 1 280 000 vertices). *)
+
+val fig5 : unit -> string
+(** The Code 1 trees: legacy's silent miss, the Figure 5b fragmented
+    tree, and the contribution's race report. *)
+
+type fig8_result = {
+  legacy_nodes : int;
+  contribution_nodes : int;
+  final_get_flagged : bool;
+}
+
+val fig8 : unit -> fig8_result * string
+(** Code 2: the 1000-iteration Get loop — node explosion versus merged
+    tree, plus the verdict on the trailing duplicated Get. *)
+
+val fig9 : unit -> string
+(** The MiniVite fault injection and the report our tool prints. *)
+
+type perf_row = {
+  tool : string;
+  nprocs : int;
+  epoch_time : float;  (** Mean simulated per-rank epoch time (s). *)
+  exec_time : float;  (** Simulated makespan (s). *)
+  wall : float;
+  nodes : int;
+  races : int;
+}
+
+val fig10 : ?nprocs:int -> ?repeats:int -> unit -> perf_row list * string
+(** CFD-Proxy cumulative epoch time, 12 ranks, 50 iterations, the four
+    methods; includes the 90k-to-dozens node collapse. *)
+
+val fig11 : ?scale:float -> ?ranks:int list -> unit -> perf_row list * string
+(** MiniVite execution time, 32–256 ranks, scale × 640 000 vertices. *)
+
+val fig12 : ?scale:float -> ?ranks:int list -> unit -> perf_row list * string
+(** Same with scale × 1 280 000 vertices. *)
+
+type ablation_row = { variant : string; nodes : int; races : int; wall : float }
+
+val ablation : unit -> ablation_row list * string
+(** Design-choice ablations: fragmentation without merging (node
+    explosion), order-blind conflict rule (false positives back), and
+    the full contribution, on the Code 2 loop and the microbenchmark
+    suite. *)
+
+val export : dir:string -> ?scale:float -> ?ranks:int list -> string list -> unit
+(** [export ~dir experiments] regenerates the named experiments
+    ("table2" ... "fig12", "ablation") and writes one CSV per experiment
+    into [dir] (created if missing), plus the generated C sources of the
+    microbenchmark suite when "suite" is requested. *)

@@ -1,0 +1,59 @@
+open Rma_analysis
+
+type tool_kind = Baseline | Legacy | Must | Contribution | Fragmentation_only | Order_blind | Strided
+
+let to_toolbox = function
+  | Baseline -> Toolbox.Baseline
+  | Legacy -> Toolbox.Legacy
+  | Must -> Toolbox.Must
+  | Contribution -> Toolbox.Contribution
+  | Fragmentation_only -> Toolbox.Fragmentation_only
+  | Order_blind -> Toolbox.Order_blind
+  | Strided -> Toolbox.Strided
+
+let kind_name k = Toolbox.name (to_toolbox k)
+
+let all_paper_tools = [ Baseline; Legacy; Must; Contribution ]
+
+let make_tool kind ~nprocs ~config = Toolbox.make (to_toolbox kind) ~nprocs ~config ()
+type metrics = {
+  tool : string;
+  nprocs : int;
+  wall_seconds : float;
+  epoch_time_total : float;
+  epoch_time_mean : float;
+  makespan : float;
+  races : int;
+  nodes_final : int;
+  nodes_peak : int;
+  trees : int;
+  inserts : int;
+  fragments : int;
+  merges : int;
+  accesses : int;
+}
+
+let measure ~nprocs ?(config = Mpi_sim.Config.default) ~workload kind =
+  let tool = make_tool kind ~nprocs ~config in
+  let observer = match kind with Baseline -> None | _ -> Some tool.Tool.observer in
+  let t0 = Rma_util.Timer.now () in
+  let result = workload ~observer in
+  let wall = Rma_util.Timer.now () -. t0 in
+  let b = tool.Tool.bst_summary () in
+  let epoch_total = Array.fold_left ( +. ) 0.0 result.Mpi_sim.Runtime.epoch_times in
+  {
+    tool = kind_name kind;
+    nprocs;
+    wall_seconds = wall;
+    epoch_time_total = epoch_total;
+    epoch_time_mean = epoch_total /. float_of_int (max 1 nprocs);
+    makespan = result.Mpi_sim.Runtime.makespan;
+    races = tool.Tool.race_count ();
+    nodes_final = b.Tool.nodes_final_total;
+    nodes_peak = b.Tool.nodes_peak_total;
+    trees = b.Tool.stores;
+    inserts = b.Tool.inserts_total;
+    fragments = b.Tool.fragments_total;
+    merges = b.Tool.merges_total;
+    accesses = result.Mpi_sim.Runtime.accesses_emitted;
+  }

@@ -1,0 +1,49 @@
+(** Shared machinery for the paper-reproduction experiments: tool
+    construction, instrumented runs, and the metrics every table/figure
+    reads. *)
+
+type tool_kind =
+  | Baseline
+  | Legacy  (** Published RMA-Analyzer. *)
+  | Must  (** MUST-RMA-style happens-before baseline. *)
+  | Contribution  (** The paper's algorithm. *)
+  | Fragmentation_only  (** Ablation: §4.1 without §4.2. *)
+  | Order_blind  (** Ablation: contribution with the legacy conflict rule. *)
+  | Strided  (** The §6(3) future-work strided-merging extension. *)
+
+val kind_name : tool_kind -> string
+
+val all_paper_tools : tool_kind list
+(** The four configurations of Figures 10–12: baseline, legacy,
+    MUST-RMA, contribution. *)
+
+val make_tool : tool_kind -> nprocs:int -> config:Mpi_sim.Config.t -> Rma_analysis.Tool.t
+(** Tools are created in [Collect] mode: the harness measures overhead
+    on complete runs, like the paper's performance experiments. *)
+
+type metrics = {
+  tool : string;
+  nprocs : int;
+  wall_seconds : float;  (** Real time of the whole simulated run. *)
+  epoch_time_total : float;  (** Sum over ranks of simulated epoch time. *)
+  epoch_time_mean : float;
+  makespan : float;  (** Simulated end-to-end time (max rank clock). *)
+  races : int;
+  nodes_final : int;
+  nodes_peak : int;
+  trees : int;  (** (rank, window) trees the tool created. *)
+  inserts : int;
+  fragments : int;
+  merges : int;
+  accesses : int;  (** Instrumented accesses emitted by the run. *)
+}
+
+val measure :
+  nprocs:int ->
+  ?config:Mpi_sim.Config.t ->
+  workload:(observer:Mpi_sim.Event.observer option -> Mpi_sim.Runtime.result) ->
+  tool_kind ->
+  metrics
+(** Runs the workload once under the given tool and collects metrics.
+    The workload receives [None] for the baseline so it costs exactly
+    nothing. *)

@@ -1,0 +1,11 @@
+open Rma_access
+
+(* The access-specialised instance of the generic interval tree. *)
+include Interval_tree.Make (struct
+  type t = Access.t
+
+  let interval a = a.Access.interval
+  let tiebreak a = a.Access.seq
+  let equal = Access.equal
+  let pp = Access.pp
+end)

@@ -1,0 +1,61 @@
+open Rma_access
+(** Balanced binary search tree of accesses, ordered by interval lower
+    bound (then upper bound, then sequence number, so the tree behaves
+    as a multiset: several accesses with equal lower bounds coexist, as
+    in the C++ [std::multiset] the original RMA-Analyzer uses).
+
+    Each node is augmented with the maximum interval upper bound of its
+    subtree, turning the tree into an interval tree: [stab] retrieves
+    every stored access overlapping a query interval in
+    O(log n + answers) regardless of how intervals nest.
+
+    The tree also exposes [search_path] — the plain BST descent towards
+    a query's insertion point comparing lower bounds only. Legacy
+    RMA-Analyzer checks for conflicts along exactly that path, which is
+    how it misses overlaps sitting off-path (the Figure 5a false
+    negative); the legacy store needs the primitive preserved
+    faithfully. *)
+
+type t
+
+val create : unit -> t
+
+val size : t -> int
+
+val height : t -> int
+
+val is_empty : t -> bool
+
+val insert : t -> Access.t -> unit
+(** Multiset insert; never rejects. *)
+
+val remove : t -> Access.t -> bool
+(** Removes one occurrence structurally equal to the argument; [false]
+    when absent. *)
+
+val stab : t -> Interval.t -> Access.t list
+(** Every stored access whose interval overlaps the query, in increasing
+    lower-bound order. Uses the max-upper-bound augmentation, so it is
+    exact. *)
+
+val search_path : t -> Access.t -> Access.t list
+(** The accesses on the BST descent from the root towards [query]'s
+    insertion slot (inclusive of every node compared against), in
+    descent order. This is the only part of the tree legacy
+    RMA-Analyzer inspects when checking a new access for conflicts. *)
+
+val to_list : t -> Access.t list
+(** In-order (increasing lower bound). *)
+
+val iter : t -> (Access.t -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> Access.t -> 'a) -> 'a
+
+val clear : t -> unit
+
+val invariants_ok : t -> bool
+(** Checks BST order, AVL balance and the max-hi augmentation; for
+    tests. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented tree rendering for debugging and the Figure 5 bench. *)

@@ -1,0 +1,105 @@
+open Rma_access
+type t = {
+  tree : Avl.t;
+  order_aware : bool;
+  merge : bool;
+  mutable peak_nodes : int;
+  mutable inserts : int;
+  mutable fragments_created : int;
+  mutable merges_performed : int;
+  mutable race_checks : int;
+}
+
+let create ?(order_aware = true) ?(merge = true) () =
+  {
+    tree = Avl.create ();
+    order_aware;
+    merge;
+    peak_nodes = 0;
+    inserts = 0;
+    fragments_created = 0;
+    merges_performed = 0;
+    race_checks = 0;
+  }
+
+(* get_intersecting_accesses (Algorithm 1 line 5), widened by one byte on
+   each side so merging can also see accesses adjacent to the new one
+   (the Figure 8b loop produces adjacent, never overlapping, accesses).
+   One interval-tree stab serves both the data-race check (line 2) and
+   the fragmentation input. *)
+let neighbourhood t access =
+  let iv = access.Access.interval in
+  let query = Interval.make ~lo:(Interval.lo iv - 1) ~hi:(Interval.hi iv + 1) in
+  Avl.stab t.tree query
+
+(* data_race_detection (line 2): the new access against every overlapping
+   recorded access. The interval-tree stab is exact, which is precisely
+   what removes the legacy false negatives. *)
+let detect_race t access candidates =
+  List.find_map
+    (fun existing ->
+      if Interval.overlaps existing.Access.interval access.Access.interval then begin
+        t.race_checks <- t.race_checks + 1;
+        match Race_rule.check ~order_aware:t.order_aware ~existing ~incoming:access with
+        | Race_rule.No_race -> None
+        | Race_rule.Race _ -> Some existing
+      end
+      else None)
+    candidates
+
+let check_only t access =
+  match detect_race t access (Avl.stab t.tree access.Access.interval) with
+  | Some existing -> Store_intf.Race_detected { existing; incoming = access }
+  | None -> Store_intf.Inserted
+
+(* fragment_accesses (line 6, §4.1) and merge_accesses (line 7, §4.2)
+   live in the shared Fragmenter module. *)
+let fragment t ~candidates ~new_acc =
+  let pieces, created = Fragmenter.fragment ~candidates ~new_acc in
+  t.fragments_created <- t.fragments_created + created;
+  pieces
+
+let merge_pieces t pieces =
+  let merged, merges = Fragmenter.merge pieces in
+  t.merges_performed <- t.merges_performed + merges;
+  merged
+
+let insert t access =
+  t.inserts <- t.inserts + 1;
+  let candidates = neighbourhood t access in
+  match candidates with
+  | [] ->
+      (* Fast path: nothing overlaps or touches — plain insertion. *)
+      Avl.insert t.tree access;
+      if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
+      Store_intf.Inserted
+  | _ -> (
+      match detect_race t access candidates with
+      | Some existing -> Store_intf.Race_detected { existing; incoming = access }
+      | None ->
+          let fragments = fragment t ~candidates ~new_acc:access in
+          let final = if t.merge then merge_pieces t fragments else fragments in
+          (* finish_insertion (line 8): replace the old accesses with the
+             new disjoint pieces. *)
+          List.iter (fun old -> ignore (Avl.remove t.tree old)) candidates;
+          List.iter (fun piece -> Avl.insert t.tree piece) final;
+          if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
+          Store_intf.Inserted)
+
+let size t = Avl.size t.tree
+
+let stats t =
+  {
+    Store_intf.nodes = Avl.size t.tree;
+    peak_nodes = t.peak_nodes;
+    inserts = t.inserts;
+    fragments_created = t.fragments_created;
+    merges_performed = t.merges_performed;
+    race_checks = t.race_checks;
+  }
+
+let to_list t = Avl.to_list t.tree
+
+let clear t = Avl.clear t.tree
+
+let pp fmt t = Avl.pp fmt t.tree

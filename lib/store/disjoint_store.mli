@@ -1,0 +1,29 @@
+(** The paper's contribution: a store whose intervals stay disjoint
+    through fragmentation (§4.1) and compact through merging (§4.2) —
+    Algorithm 1.
+
+    On each insertion the store (1) checks the new access against every
+    genuinely overlapping recorded access (exact interval-tree stabbing,
+    so the legacy lower-bound false negatives disappear), (2) retrieves
+    the overlapping-or-adjacent accesses, (3) fragments the overlapping
+    ones into disjoint pieces whose kinds follow the Table 1 dominance
+    rule, (4) merges adjacent pieces with equal kind and debug info, and
+    (5) replaces the old nodes with the merged pieces.
+
+    [~merge:false] disables step (4) — fragmentation only, the state
+    depicted in Figure 5b — and is the ablation showing why merging is
+    needed ("each new access possibly increases the nodes in the BST by
+    two"). [~order_aware:false] reinstates the legacy conflict rule for
+    the order-awareness ablation. *)
+
+type t
+
+val create : ?order_aware:bool -> ?merge:bool -> unit -> t
+(** Defaults: [order_aware = true], [merge = true] — the published
+    contribution. *)
+
+include Store_intf.S with type t := t
+
+val check_only : t -> Rma_access.Access.t -> Store_intf.insert_outcome
+(** The race check of [insert] without the insertion; used by tests to
+    probe the conflict rule. *)

@@ -1,0 +1,62 @@
+open Rma_access
+
+(** Generic balanced interval tree.
+
+    The functor builds an AVL multiset over any element carrying a byte
+    interval: ordered by interval lower bound (then upper bound, then
+    the element's tiebreak), augmented with the subtree's maximum upper
+    bound so [stab] answers overlap queries exactly in
+    O(log n + answers). {!Avl} instantiates it for plain accesses, the
+    strided store for access regions. *)
+
+module type ELEMENT = sig
+  type t
+
+  val interval : t -> Interval.t
+  (** The byte range the element covers (its hull, for compound
+      elements). *)
+
+  val tiebreak : t -> int
+  (** Distinguishes elements with equal intervals (e.g. a sequence
+      number); the multiset key is (lo, hi, tiebreak). *)
+
+  val equal : t -> t -> bool
+  (** Full structural equality, used by [remove]. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (Elt : ELEMENT) : sig
+  type t
+
+  val create : unit -> t
+  val size : t -> int
+  val height : t -> int
+  val is_empty : t -> bool
+
+  val insert : t -> Elt.t -> unit
+  (** Multiset insert; never rejects. *)
+
+  val remove : t -> Elt.t -> bool
+  (** Removes one structurally-equal occurrence; [false] when absent. *)
+
+  val stab : t -> Interval.t -> Elt.t list
+  (** Every stored element whose interval overlaps the query, in
+      increasing lower-bound order; exact thanks to the max-upper-bound
+      augmentation. *)
+
+  val search_path : t -> Elt.t -> Elt.t list
+  (** The elements on the plain BST descent from the root towards the
+      query's insertion slot, in descent order — the only part of the
+      tree legacy RMA-Analyzer inspects (the Figure 5a approximation). *)
+
+  val to_list : t -> Elt.t list
+  val iter : t -> (Elt.t -> unit) -> unit
+  val fold : t -> init:'a -> f:('a -> Elt.t -> 'a) -> 'a
+  val clear : t -> unit
+
+  val invariants_ok : t -> bool
+  (** BST order, AVL balance and max-hi cache; for tests. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,51 @@
+open Rma_access
+type t = {
+  tree : Avl.t;
+  mutable peak_nodes : int;
+  mutable inserts : int;
+  mutable race_checks : int;
+}
+
+let create () = { tree = Avl.create (); peak_nodes = 0; inserts = 0; race_checks = 0 }
+
+let insert t access =
+  t.inserts <- t.inserts + 1;
+  (* First traversal: conflict check restricted to the BST search path —
+     the lower-bound-only approximation the paper identifies as the source
+     of legacy false negatives. *)
+  let path = Avl.search_path t.tree access in
+  let conflict =
+    List.find_map
+      (fun existing ->
+        t.race_checks <- t.race_checks + 1;
+        match Race_rule.check ~order_aware:false ~existing ~incoming:access with
+        | Race_rule.No_race -> None
+        | Race_rule.Race _ -> Some existing)
+      path
+  in
+  match conflict with
+  | Some existing -> Store_intf.Race_detected { existing; incoming = access }
+  | None ->
+      (* Second traversal: plain multiset insertion; nothing is ever
+         fragmented or merged. *)
+      Avl.insert t.tree access;
+      if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
+      Store_intf.Inserted
+
+let size t = Avl.size t.tree
+
+let stats t =
+  {
+    Store_intf.nodes = Avl.size t.tree;
+    peak_nodes = t.peak_nodes;
+    inserts = t.inserts;
+    fragments_created = 0;
+    merges_performed = 0;
+    race_checks = t.race_checks;
+  }
+
+let to_list t = Avl.to_list t.tree
+
+let clear t = Avl.clear t.tree
+
+let pp fmt t = Avl.pp fmt t.tree

@@ -1,0 +1,35 @@
+open Rma_access
+(** Shared vocabulary for the two access stores. *)
+
+type insert_outcome =
+  | Inserted  (** No conflict; the access is now recorded. *)
+  | Race_detected of { existing : Access.t; incoming : Access.t }
+      (** A data race: [incoming] conflicts with the already-recorded
+          [existing]. Tools following the paper abort the program and
+          report both debug locations (Figure 9b). The access is NOT
+          recorded when a race is reported. *)
+
+type stats = {
+  nodes : int;  (** Current node count — the paper's "size of the BST". *)
+  peak_nodes : int;  (** Largest node count observed. *)
+  inserts : int;  (** Accesses presented to the store. *)
+  fragments_created : int;  (** Pieces produced by fragmentation (§4.1). *)
+  merges_performed : int;  (** Node pairs coalesced by merging (§4.2). *)
+  race_checks : int;  (** Pairwise access comparisons during detection. *)
+}
+
+let zero_stats =
+  { nodes = 0; peak_nodes = 0; inserts = 0; fragments_created = 0; merges_performed = 0; race_checks = 0 }
+
+module type S = sig
+  type t
+
+  val insert : t -> Access.t -> insert_outcome
+  val size : t -> int
+  val stats : t -> stats
+  val to_list : t -> Access.t list
+  val clear : t -> unit
+  (** Empties the tree (end of epoch) but keeps cumulative statistics. *)
+
+  val pp : Format.formatter -> t -> unit
+end

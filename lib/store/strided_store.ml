@@ -1,0 +1,226 @@
+open Rma_access
+
+type region = {
+  base : int;
+  len : int;
+  stride : int;
+  count : int;
+  kind : Access_kind.t;
+  issuer : int;
+  seq : int;
+  debug : Debug_info.t;
+}
+
+let region_hull r = Interval.make ~lo:r.base ~hi:(r.base + ((r.count - 1) * r.stride) + r.len - 1)
+
+let region_covers r iv =
+  (* Does any element of the region overlap [iv]? Elements start at
+     base + k*stride; it suffices to check the elements whose start lies
+     within one stride of the query. *)
+  if not (Interval.overlaps (region_hull r) iv) then false
+  else begin
+    let lo = Interval.lo iv and hi = Interval.hi iv in
+    let first = max 0 ((lo - r.base - r.len + 1 + r.stride - 1) / r.stride) in
+    let last = min (r.count - 1) ((hi - r.base) / r.stride) in
+    let rec any k =
+      k <= last
+      &&
+      let e_lo = r.base + (k * r.stride) in
+      (e_lo <= hi && lo <= e_lo + r.len - 1) || any (k + 1)
+    in
+    any first
+  end
+
+let region_of_access (a : Access.t) =
+  {
+    base = Interval.lo a.Access.interval;
+    len = Interval.length a.Access.interval;
+    stride = Interval.length a.Access.interval;
+    count = 1;
+    kind = a.Access.kind;
+    issuer = a.Access.issuer;
+    seq = a.Access.seq;
+    debug = a.Access.debug;
+  }
+
+let access_of_region r =
+  Access.make ~interval:(region_hull r) ~kind:r.kind ~issuer:r.issuer ~seq:r.seq ~debug:r.debug
+
+let element_accesses r =
+  List.init r.count (fun k ->
+      Access.make
+        ~interval:(Interval.of_range ~addr:(r.base + (k * r.stride)) ~len:r.len)
+        ~kind:r.kind ~issuer:r.issuer ~seq:r.seq ~debug:r.debug)
+
+module Tree = Interval_tree.Make (struct
+  type t = region
+
+  let interval = region_hull
+  let tiebreak r = r.seq
+
+  let equal a b =
+    a.base = b.base && a.len = b.len && a.stride = b.stride && a.count = b.count
+    && Access_kind.equal a.kind b.kind && a.issuer = b.issuer && a.seq = b.seq
+    && Debug_info.equal a.debug b.debug
+
+  let pp fmt r =
+    Format.fprintf fmt "(base %d, len %d, stride %d, count %d, %a, rank %d, %a)" r.base r.len
+      r.stride r.count Access_kind.pp r.kind r.issuer Debug_info.pp r.debug
+end)
+
+type t = {
+  tree : Tree.t;
+  order_aware : bool;
+  mutable peak_nodes : int;
+  mutable inserts : int;
+  mutable fragments_created : int;
+  mutable merges_performed : int;
+  mutable race_checks : int;
+}
+
+let create ?(order_aware = true) () =
+  {
+    tree = Tree.create ();
+    order_aware;
+    peak_nodes = 0;
+    inserts = 0;
+    fragments_created = 0;
+    merges_performed = 0;
+    race_checks = 0;
+  }
+
+let note_peak t = if Tree.size t.tree > t.peak_nodes then t.peak_nodes <- Tree.size t.tree
+
+(* A region is mergeable with an access of the same element shape and
+   identity. *)
+let extendable r (a : Access.t) =
+  Interval.length a.Access.interval = r.len
+  && Access_kind.equal a.Access.kind r.kind
+  && a.Access.issuer = r.issuer
+  && Debug_info.equal a.Access.debug r.debug
+
+(* Where the access would land as the region's next element: count = 1
+   regions accept any position after the element (fixing the stride);
+   larger regions require exactly one stride past the last element. *)
+let extension_of r (a : Access.t) =
+  if not (extendable r a) then None
+  else begin
+    let lo = Interval.lo a.Access.interval in
+    if r.count = 1 then begin
+      (* The second element fixes the stride; it must not overlap the
+         first and must stay within the lookbehind horizon. *)
+      if lo - r.base >= r.len && lo - r.base <= 4096 then
+        Some { r with stride = lo - r.base; count = 2; seq = a.Access.seq }
+      else None
+    end
+    else if lo = r.base + (r.count * r.stride) then
+      Some { r with count = r.count + 1; seq = a.Access.seq }
+    else None
+  end
+
+let detect_race t (access : Access.t) candidates =
+  List.find_map
+    (fun r ->
+      if region_covers r access.Access.interval then begin
+        t.race_checks <- t.race_checks + 1;
+        let existing = access_of_region r in
+        match Race_rule.check ~order_aware:t.order_aware ~existing ~incoming:access with
+        | Race_rule.No_race -> None
+        | Race_rule.Race _ -> Some existing
+      end
+      else None)
+    candidates
+
+let insert t access =
+  t.inserts <- t.inserts + 1;
+  let iv = access.Access.interval in
+  let wide = Interval.make ~lo:(Interval.lo iv - 1) ~hi:(Interval.hi iv + 1) in
+  (* Hull-overlap candidates; widen generously so stride extension can
+     also see regions whose hull ends well before this access. *)
+  let near = Tree.stab t.tree wide in
+  match detect_race t access near with
+  | Some existing -> Store_intf.Race_detected { existing; incoming = access }
+  | None -> (
+      (* Try to extend a region: the candidate whose next element slot is
+         exactly this access. Look beyond the widened query — the gap can
+         be larger than one byte — by also stabbing at the position a
+         previous element would occupy. *)
+      let behind =
+        Tree.stab t.tree
+          (Interval.make ~lo:(Interval.lo iv - 4096) ~hi:(Interval.lo iv - 1))
+      in
+      let all_candidates = List.sort_uniq compare (near @ behind) in
+      let extension =
+        List.find_map
+          (fun r ->
+            match extension_of r access with
+            | Some extended when not (region_covers r iv) -> Some (r, extended)
+            | _ -> None)
+          all_candidates
+      in
+      match extension with
+      | Some (old_region, extended) ->
+          ignore (Tree.remove t.tree old_region);
+          Tree.insert t.tree extended;
+          t.merges_performed <- t.merges_performed + 1;
+          note_peak t;
+          Store_intf.Inserted
+      | None ->
+          let covering = List.filter (fun r -> region_covers r iv) near in
+          if covering = [] then begin
+            Tree.insert t.tree (region_of_access access);
+            note_peak t;
+            Store_intf.Inserted
+          end
+          else begin
+            (* Conservative fallback: explode the covering regions into
+               their elements and run the standard fragmentation and
+               merging over them. *)
+            let elements =
+              List.concat_map element_accesses covering
+              |> List.sort (fun a b -> Interval.compare_lo a.Access.interval b.Access.interval)
+            in
+            let overlapping_or_adjacent =
+              List.filter
+                (fun e ->
+                  Interval.overlaps e.Access.interval iv || Interval.adjacent e.Access.interval iv)
+                elements
+            in
+            let untouched =
+              List.filter (fun e -> not (List.memq e overlapping_or_adjacent)) elements
+            in
+            let pieces, created =
+              Fragmenter.fragment ~candidates:overlapping_or_adjacent ~new_acc:access
+            in
+            t.fragments_created <- t.fragments_created + created;
+            let merged, merges = Fragmenter.merge pieces in
+            t.merges_performed <- t.merges_performed + merges;
+            List.iter (fun r -> ignore (Tree.remove t.tree r)) covering;
+            List.iter (fun a -> Tree.insert t.tree (region_of_access a)) untouched;
+            List.iter (fun a -> Tree.insert t.tree (region_of_access a)) merged;
+            note_peak t;
+            Store_intf.Inserted
+          end)
+
+let size t = Tree.size t.tree
+
+let stats t =
+  {
+    Store_intf.nodes = Tree.size t.tree;
+    peak_nodes = t.peak_nodes;
+    inserts = t.inserts;
+    fragments_created = t.fragments_created;
+    merges_performed = t.merges_performed;
+    race_checks = t.race_checks;
+  }
+
+let regions t = Tree.to_list t.tree
+
+let to_list t = List.map access_of_region (regions t)
+
+let covered_bytes t =
+  Tree.fold t.tree ~init:0 ~f:(fun acc r -> acc + (r.count * r.len))
+
+let clear t = Tree.clear t.tree
+
+let pp fmt t = Tree.pp fmt t.tree

@@ -1,0 +1,217 @@
+open Rma_access
+module Event = Mpi_sim.Event
+
+let header = "rma-trace 1"
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '%' -> Buffer.add_string buf "%25"
+      | '\t' -> Buffer.add_string buf "%09"
+      | '\n' -> Buffer.add_string buf "%0A"
+      | '\r' -> Buffer.add_string buf "%0D"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '%' && i + 2 < n then begin
+      let hex = String.sub s (i + 1) 2 in
+      match int_of_string_opt ("0x" ^ hex) with
+      | Some code ->
+          Buffer.add_char buf (Char.chr code);
+          go (i + 3)
+      | None ->
+          Buffer.add_char buf s.[i];
+          go (i + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let bool_str = function true -> "1" | false -> "0"
+
+let kind_str = function
+  | Access_kind.Local_read -> "LR"
+  | Access_kind.Local_write -> "LW"
+  | Access_kind.Rma_read -> "RR"
+  | Access_kind.Rma_write -> "RW"
+  | Access_kind.Rma_accumulate -> "RA"
+
+let kind_of_str = function
+  | "LR" -> Ok Access_kind.Local_read
+  | "LW" -> Ok Access_kind.Local_write
+  | "RR" -> Ok Access_kind.Rma_read
+  | "RW" -> Ok Access_kind.Rma_write
+  | "RA" -> Ok Access_kind.Rma_accumulate
+  | other -> Error (Printf.sprintf "unknown access kind %S" other)
+
+let opt_int = function None -> "-" | Some i -> string_of_int i
+
+let opt_int_of_str = function
+  | "-" -> Ok None
+  | s -> ( match int_of_string_opt s with Some i -> Ok (Some i) | None -> Error ("bad int " ^ s))
+
+let encode_event event =
+  let join = String.concat "\t" in
+  match event with
+  | Event.Access a ->
+      let acc = a.Event.access in
+      join
+        [
+          "A";
+          string_of_int a.Event.space;
+          kind_str acc.Access.kind;
+          string_of_int (Interval.lo acc.Access.interval);
+          string_of_int (Interval.hi acc.Access.interval);
+          string_of_int acc.Access.issuer;
+          string_of_int acc.Access.seq;
+          opt_int a.Event.win;
+          bool_str a.Event.relevant;
+          bool_str a.Event.on_stack;
+          Printf.sprintf "%.9f" a.Event.sim_time;
+          escape acc.Access.debug.Debug_info.file;
+          string_of_int acc.Access.debug.Debug_info.line;
+          escape acc.Access.debug.Debug_info.operation;
+        ]
+  | Event.Collective { kind; rank; sim_time } ->
+      join
+        [
+          "C";
+          (match kind with
+          | Event.Barrier -> "barrier"
+          | Event.Allreduce -> "allreduce"
+          | Event.Fence -> "fence");
+          string_of_int rank;
+          Printf.sprintf "%.9f" sim_time;
+        ]
+  | Event.Win_created { win; rank; base; size; sim_time } ->
+      join
+        [ "W"; string_of_int win; string_of_int rank; string_of_int base; string_of_int size;
+          Printf.sprintf "%.9f" sim_time ]
+  | Event.Win_freed { win; rank; sim_time } ->
+      join [ "X"; string_of_int win; string_of_int rank; Printf.sprintf "%.9f" sim_time ]
+  | Event.Epoch_opened { win; rank; sim_time } ->
+      join [ "O"; string_of_int win; string_of_int rank; Printf.sprintf "%.9f" sim_time ]
+  | Event.Epoch_closed { win; rank; sim_time } ->
+      join [ "E"; string_of_int win; string_of_int rank; Printf.sprintf "%.9f" sim_time ]
+  | Event.Flushed { win; rank; target; sim_time } ->
+      join
+        [ "L"; string_of_int win; string_of_int rank; opt_int target; Printf.sprintf "%.9f" sim_time ]
+  | Event.Finished { rank; sim_time } ->
+      join [ "Z"; string_of_int rank; Printf.sprintf "%.9f" sim_time ]
+
+let ( let* ) r f = Result.bind r f
+
+let int_field s =
+  match int_of_string_opt s with Some i -> Ok i | None -> Error ("bad int " ^ s)
+
+let float_field s =
+  match float_of_string_opt s with Some f -> Ok f | None -> Error ("bad float " ^ s)
+
+let bool_field = function
+  | "1" -> Ok true
+  | "0" -> Ok false
+  | s -> Error ("bad bool " ^ s)
+
+let decode_event line =
+  match String.split_on_char '\t' line with
+  | [ "A"; space; kind; lo; hi; issuer; seq; win; relevant; on_stack; time; file; lnum; op ] ->
+      let* space = int_field space in
+      let* kind = kind_of_str kind in
+      let* lo = int_field lo in
+      let* hi = int_field hi in
+      let* issuer = int_field issuer in
+      let* seq = int_field seq in
+      let* win = opt_int_of_str win in
+      let* relevant = bool_field relevant in
+      let* on_stack = bool_field on_stack in
+      let* sim_time = float_field time in
+      let* line_number = int_field lnum in
+      if lo > hi then Error (Printf.sprintf "inverted interval [%s...%s]" (string_of_int lo) (string_of_int hi))
+      else begin
+        let debug =
+          Debug_info.make ~file:(unescape file) ~line:line_number ~operation:(unescape op)
+        in
+        let access =
+          Access.make ~interval:(Interval.make ~lo ~hi) ~kind ~issuer ~seq ~debug
+        in
+        Ok (Event.Access { Event.space; access; win; relevant; on_stack; sim_time })
+      end
+  | [ "C"; kind; rank; time ] ->
+      let* kind =
+        match kind with
+        | "barrier" -> Ok Event.Barrier
+        | "allreduce" -> Ok Event.Allreduce
+        | "fence" -> Ok Event.Fence
+        | other -> Error ("unknown collective " ^ other)
+      in
+      let* rank = int_field rank in
+      let* sim_time = float_field time in
+      Ok (Event.Collective { kind; rank; sim_time })
+  | [ "W"; win; rank; base; size; time ] ->
+      let* win = int_field win in
+      let* rank = int_field rank in
+      let* base = int_field base in
+      let* size = int_field size in
+      let* sim_time = float_field time in
+      Ok (Event.Win_created { win; rank; base; size; sim_time })
+  | [ "X"; win; rank; time ] ->
+      let* win = int_field win in
+      let* rank = int_field rank in
+      let* sim_time = float_field time in
+      Ok (Event.Win_freed { win; rank; sim_time })
+  | [ "O"; win; rank; time ] ->
+      let* win = int_field win in
+      let* rank = int_field rank in
+      let* sim_time = float_field time in
+      Ok (Event.Epoch_opened { win; rank; sim_time })
+  | [ "E"; win; rank; time ] ->
+      let* win = int_field win in
+      let* rank = int_field rank in
+      let* sim_time = float_field time in
+      Ok (Event.Epoch_closed { win; rank; sim_time })
+  | [ "L"; win; rank; target; time ] ->
+      let* win = int_field win in
+      let* rank = int_field rank in
+      let* target = opt_int_of_str target in
+      let* sim_time = float_field time in
+      Ok (Event.Flushed { win; rank; target; sim_time })
+  | [ "Z"; rank; time ] ->
+      let* rank = int_field rank in
+      let* sim_time = float_field time in
+      Ok (Event.Finished { rank; sim_time })
+  | _ -> Error (Printf.sprintf "malformed trace line %S" line)
+
+let write_all oc events =
+  output_string oc header;
+  output_char oc '\n';
+  List.iter
+    (fun e ->
+      output_string oc (encode_event e);
+      output_char oc '\n')
+    events
+
+let read_all ic =
+  match input_line ic with
+  | exception End_of_file -> Error "empty trace"
+  | first when first <> header -> Error (Printf.sprintf "bad header %S" first)
+  | _ ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line when String.trim line = "" -> go acc
+        | line -> (
+            match decode_event line with Ok e -> go (e :: acc) | Error e -> Error e)
+      in
+      go []

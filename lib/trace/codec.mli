@@ -1,0 +1,23 @@
+(** Text serialisation of instrumentation event streams.
+
+    One event per line, tab-separated, with a versioned header — stable
+    enough to archive traces and replay them through any detector later
+    (the post-mortem workflow of MC-Checker, §3 of the paper). Strings
+    are percent-escaped so file names with tabs or newlines round-trip. *)
+
+val header : string
+(** First line of every trace file. *)
+
+val encode_event : Mpi_sim.Event.event -> string
+(** One line, no trailing newline. *)
+
+val decode_event : string -> (Mpi_sim.Event.event, string) result
+
+val write_all : out_channel -> Mpi_sim.Event.event list -> unit
+(** Header plus one line per event. *)
+
+val read_all : in_channel -> (Mpi_sim.Event.event list, string) result
+(** Validates the header; stops at the first malformed line. *)
+
+val escape : string -> string
+val unescape : string -> string

@@ -1,0 +1,75 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ?title ~columns () =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Text_table.add_row: %d cells for %d columns" (List.length cells)
+         (List.length t.headers));
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+        let left = (width - n) / 2 in
+        String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note_row = function
+    | Rule -> ()
+    | Cells cells ->
+        List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells
+  in
+  List.iter note_row rows;
+  let buf = Buffer.create 1024 in
+  let render_cells cells =
+    let parts =
+      List.mapi
+        (fun i c ->
+          let align = List.nth t.aligns i in
+          pad align widths.(i) c)
+        cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " parts ^ " |\n")
+  in
+  let rule_line () =
+    let parts = Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths) in
+    Buffer.add_string buf ("+" ^ String.concat "+" parts ^ "+\n")
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule_line ();
+  render_cells t.headers;
+  rule_line ();
+  List.iter (function Rule -> rule_line () | Cells cells -> render_cells cells) rows;
+  rule_line ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let cell_percent ?(decimals = 2) x = Printf.sprintf "%.*f%%" decimals (x *. 100.0)

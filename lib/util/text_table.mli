@@ -1,0 +1,31 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Benchmark output mirrors the paper's tables, so everything here
+    renders to monospaced text with column alignment, an optional header
+    rule, and per-column alignment control. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** A table with the given column headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row. Raises [Invalid_argument] if the arity does not match
+    the column count. *)
+
+val add_rule : t -> unit
+(** Appends a horizontal separator row. *)
+
+val render : t -> string
+(** Full rendering including title, header and rules. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point rendering helper, default 2 decimals. *)
+
+val cell_percent : ?decimals:int -> float -> string
+(** [cell_percent 0.1234] is ["12.34%"]. *)

@@ -1,0 +1,19 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  (result, now () -. t0)
+
+type accumulator = { mutable total : float }
+
+let accumulator () = { total = 0.0 }
+
+let record acc f =
+  let result, dt = time f in
+  acc.total <- acc.total +. dt;
+  result
+
+let elapsed acc = acc.total
+
+let reset acc = acc.total <- 0.0

@@ -1,0 +1,22 @@
+(** Wall-clock timing helpers for the benchmark harness. *)
+
+val now : unit -> float
+(** Wall-clock seconds with microsecond resolution
+    ([Unix.gettimeofday]); the simulator is single-threaded and
+    CPU-bound, so wall time tracks detector work closely. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+
+type accumulator
+(** Accumulates disjoint timed sections, e.g. "time spent inside epochs". *)
+
+val accumulator : unit -> accumulator
+
+val record : accumulator -> (unit -> 'a) -> 'a
+(** Runs the thunk and adds its elapsed time to the accumulator. *)
+
+val elapsed : accumulator -> float
+(** Total accumulated seconds. *)
+
+val reset : accumulator -> unit

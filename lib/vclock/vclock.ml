@@ -1,0 +1,38 @@
+module Imap = Map.Make (Int)
+
+type t = int Imap.t
+
+let empty = Imap.empty
+
+let create ~nprocs =
+  let rec go acc i = if i >= nprocs then acc else go (Imap.add i 0 acc) (i + 1) in
+  go Imap.empty 0
+
+let get t i = Option.value (Imap.find_opt i t) ~default:0
+
+let tick t i = Imap.add i (get t i + 1) t
+
+let set t i v = Imap.add i v t
+
+let merge a b = Imap.union (fun _ x y -> Some (max x y)) a b
+
+let size t = Imap.fold (fun _ v acc -> if v > 0 then acc + 1 else acc) t 0
+
+let leq a b = Imap.for_all (fun i v -> v <= get b i) a
+
+let equal a b = leq a b && leq b a
+
+let happens_before a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+type stamp = { thread : int; epoch : int }
+
+let stamp_of t ~thread = { thread; epoch = get t thread }
+
+let stamp_observed s ~by = s.epoch <= get by s.thread
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  Imap.iter (fun i v -> if v > 0 then Format.fprintf fmt "%d:%d " i v) t;
+  Format.fprintf fmt "}"

@@ -1,0 +1,55 @@
+(** Sparse vector clocks for the MUST-RMA-style happens-before baseline.
+
+    Clock components are identified by integer thread ids. Real MPI
+    ranks use ids [0 .. nprocs-1]; every one-sided operation (or epoch)
+    gets a fresh {e virtual} thread id above that range, mirroring how
+    MUST-RMA models the asynchronous window between an RMA call and its
+    completing synchronisation as a concurrent region. Sparse storage
+    keeps unbounded virtual ids affordable while still costing O(live
+    components) per merge — the growth with process count that the paper
+    blames for MUST-RMA's scaling behaviour (§5.3). *)
+
+type t
+
+val empty : t
+
+val create : nprocs:int -> t
+(** Components [0 .. nprocs-1] at 0. *)
+
+val get : t -> int -> int
+(** Missing components read as 0. *)
+
+val tick : t -> int -> t
+(** Increment one component. *)
+
+val set : t -> int -> int -> t
+
+val merge : t -> t -> t
+(** Componentwise max — the receive/join operation. *)
+
+val size : t -> int
+(** Number of non-zero components (what a piggybacked message would
+    carry). *)
+
+val leq : t -> t -> bool
+(** Componentwise [<=]. *)
+
+val happens_before : t -> t -> bool
+(** [leq a b && a <> b]. *)
+
+val concurrent : t -> t -> bool
+
+type stamp = { thread : int; epoch : int }
+(** Identity of a single event: the thread it ran on and that thread's
+    clock value when it ran. *)
+
+val stamp_of : t -> thread:int -> stamp
+(** Stamp an event happening now on [thread] under clock [t]. *)
+
+val stamp_observed : stamp -> by:t -> bool
+(** [stamp_observed s ~by] — does clock [by] already know about the
+    event, i.e. did the event happen-before the point where [by] was
+    taken? This is the O(1) TSan-style HB test. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "rma_race"
+    [
+      ("interval", Test_interval.suite);
+      ("access", Test_access.suite);
+      ("avl", Test_avl.suite);
+      ("stores", Test_stores.suite);
+      ("mpi_sim", Test_mpi_sim.suite);
+      ("analysis", Test_analysis.suite);
+      ("microbench", Test_microbench.suite);
+      ("apps", Test_apps.suite);
+      ("util", Test_util.suite);
+      ("vclock", Test_vclock.suite);
+      ("shadow", Test_shadow.suite);
+      ("report", Test_report.suite);
+      ("strided", Test_strided.suite);
+      ("trace", Test_trace.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("oracle", Test_oracle.suite);
+      ("graph500", Test_graph500.suite);
+      ("memory", Test_memory.suite);
+    ]

@@ -1,0 +1,168 @@
+open Rma_access
+open Rma_store
+
+let dbg line = Debug_info.make ~file:"avl.c" ~line ~operation:"op"
+
+let acc ?(issuer = 0) ~seq lo hi kind =
+  Access.make ~interval:(Interval.make ~lo ~hi) ~kind ~issuer ~seq ~debug:(dbg seq)
+
+let local_read ~seq lo hi = acc ~seq lo hi Access_kind.Local_read
+
+let test_empty () =
+  let t = Avl.create () in
+  Alcotest.(check int) "size" 0 (Avl.size t);
+  Alcotest.(check bool) "empty" true (Avl.is_empty t);
+  Alcotest.(check (list pass)) "stab" [] (Avl.stab t (Interval.byte 0));
+  Alcotest.(check bool) "invariants" true (Avl.invariants_ok t)
+
+let test_insert_and_order () =
+  let t = Avl.create () in
+  List.iter (fun (lo, hi, seq) -> Avl.insert t (local_read ~seq lo hi))
+    [ (5, 9, 1); (1, 2, 2); (7, 7, 3); (3, 3, 4); (0, 0, 5) ];
+  Alcotest.(check int) "size" 5 (Avl.size t);
+  let lows = List.map (fun a -> Interval.lo a.Access.interval) (Avl.to_list t) in
+  Alcotest.(check (list int)) "in-order by lo" [ 0; 1; 3; 5; 7 ] lows;
+  Alcotest.(check bool) "invariants" true (Avl.invariants_ok t)
+
+let test_multiset_duplicates () =
+  let t = Avl.create () in
+  Avl.insert t (local_read ~seq:1 4 4);
+  Avl.insert t (local_read ~seq:2 4 4);
+  Avl.insert t (local_read ~seq:3 4 4);
+  Alcotest.(check int) "all kept" 3 (Avl.size t);
+  Alcotest.(check int) "stab finds all" 3 (List.length (Avl.stab t (Interval.byte 4)))
+
+let test_stab_exact () =
+  let t = Avl.create () in
+  (* The Figure 5a layout: [4], then [2...12], then query [7]. *)
+  Avl.insert t (local_read ~seq:1 4 4);
+  Avl.insert t (acc ~seq:2 2 12 Access_kind.Rma_read);
+  let hits = Avl.stab t (Interval.byte 7) in
+  Alcotest.(check int) "wide off-path interval found" 1 (List.length hits);
+  Alcotest.(check int) "it is [2...12]" 2 (Interval.lo (List.hd hits).Access.interval)
+
+let test_search_path_misses_off_path () =
+  (* The legacy lower-bound descent does NOT see [2...12] when looking up
+     7 — the mechanism behind the Figure 5a false negative. *)
+  let t = Avl.create () in
+  Avl.insert t (local_read ~seq:1 4 4);
+  Avl.insert t (acc ~seq:2 2 12 Access_kind.Rma_read);
+  let path = Avl.search_path t (local_read ~seq:3 7 7) in
+  let lows = List.map (fun a -> Interval.lo a.Access.interval) path in
+  Alcotest.(check (list int)) "descent sees only the root" [ 4 ] lows
+
+let test_remove () =
+  let t = Avl.create () in
+  let a = local_read ~seq:1 1 2 and b = local_read ~seq:2 3 4 and c = local_read ~seq:3 5 6 in
+  List.iter (Avl.insert t) [ a; b; c ];
+  Alcotest.(check bool) "remove present" true (Avl.remove t b);
+  Alcotest.(check int) "size" 2 (Avl.size t);
+  Alcotest.(check bool) "remove absent" false (Avl.remove t b);
+  Alcotest.(check bool) "invariants" true (Avl.invariants_ok t);
+  Alcotest.(check bool) "others intact" true
+    (List.map (fun x -> x.Access.seq) (Avl.to_list t) = [ 1; 3 ])
+
+let test_clear () =
+  let t = Avl.create () in
+  List.iter (Avl.insert t) [ local_read ~seq:1 1 2; local_read ~seq:2 3 4 ];
+  Avl.clear t;
+  Alcotest.(check int) "empty" 0 (Avl.size t);
+  Alcotest.(check bool) "invariants" true (Avl.invariants_ok t)
+
+let test_balance_sequential_inserts () =
+  (* 1024 strictly increasing intervals: a plain BST would become a list;
+     the AVL must stay logarithmic. *)
+  let t = Avl.create () in
+  for i = 0 to 1023 do
+    Avl.insert t (local_read ~seq:i (i * 2) (i * 2))
+  done;
+  Alcotest.(check bool) "height <= 1.44 log2 n + 2" true (Avl.height t <= 16);
+  Alcotest.(check bool) "invariants" true (Avl.invariants_ok t)
+
+(* Property tests: random workloads preserve invariants and stab agrees
+   with the naive scan. *)
+
+let access_gen =
+  QCheck.Gen.(
+    let* lo = int_range 0 200 in
+    let* len = int_range 1 30 in
+    let* k = int_range 0 3 in
+    let* seq = int_range 0 1_000_000 in
+    return (acc ~seq lo (lo + len - 1) (List.nth Access_kind.all k)))
+
+let arb_accesses =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map Access.to_string l))
+    QCheck.Gen.(list_size (int_range 0 80) access_gen)
+
+let prop_invariants_after_inserts =
+  QCheck.Test.make ~name:"invariants hold after random inserts" ~count:200 arb_accesses
+    (fun accesses ->
+      let t = Avl.create () in
+      List.iter (Avl.insert t) accesses;
+      Avl.invariants_ok t && Avl.size t = List.length accesses)
+
+let prop_stab_agrees_with_scan =
+  QCheck.Test.make ~name:"stab equals naive overlap scan" ~count:200
+    (QCheck.pair arb_accesses (QCheck.int_range 0 220))
+    (fun (accesses, point) ->
+      let t = Avl.create () in
+      List.iter (Avl.insert t) accesses;
+      let q = Interval.make ~lo:point ~hi:(point + 5) in
+      let fast = List.sort compare (List.map (fun a -> a.Access.seq) (Avl.stab t q)) in
+      let slow =
+        List.sort compare
+          (List.filter_map
+             (fun a -> if Interval.overlaps a.Access.interval q then Some a.Access.seq else None)
+             accesses)
+      in
+      fast = slow)
+
+let prop_remove_inverse_of_insert =
+  QCheck.Test.make ~name:"removing everything empties the tree" ~count:200 arb_accesses
+    (fun accesses ->
+      (* Give each access a distinct seq so removal is unambiguous. *)
+      let accesses = List.mapi (fun i a -> { a with Access.seq = i }) accesses in
+      let t = Avl.create () in
+      List.iter (Avl.insert t) accesses;
+      let all_removed = List.for_all (Avl.remove t) accesses in
+      all_removed && Avl.is_empty t && Avl.invariants_ok t)
+
+let prop_invariants_under_mixed_ops =
+  QCheck.Test.make ~name:"invariants hold under interleaved insert/remove" ~count:100
+    (QCheck.pair arb_accesses (QCheck.int_bound 1000))
+    (fun (accesses, seed) ->
+      let accesses = Array.of_list (List.mapi (fun i a -> { a with Access.seq = i }) accesses) in
+      let rng = Rma_util.Prng.create ~seed in
+      let t = Avl.create () in
+      let live = ref [] in
+      Array.iter
+        (fun a ->
+          Avl.insert t a;
+          live := a :: !live;
+          if Rma_util.Prng.bool rng then begin
+            match !live with
+            | victim :: rest ->
+                ignore (Avl.remove t victim);
+                live := rest
+            | [] -> ()
+          end)
+        accesses;
+      Avl.invariants_ok t && Avl.size t = List.length !live)
+
+let suite =
+  [
+    Alcotest.test_case "empty tree" `Quick test_empty;
+    Alcotest.test_case "insert and in-order traversal" `Quick test_insert_and_order;
+    Alcotest.test_case "multiset duplicates" `Quick test_multiset_duplicates;
+    Alcotest.test_case "stab finds off-path wide intervals" `Quick test_stab_exact;
+    Alcotest.test_case "search path misses off-path intervals (Fig 5a)" `Quick
+      test_search_path_misses_off_path;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "balance under sequential inserts" `Quick test_balance_sequential_inserts;
+    QCheck_alcotest.to_alcotest prop_invariants_after_inserts;
+    QCheck_alcotest.to_alcotest prop_stab_agrees_with_scan;
+    QCheck_alcotest.to_alcotest prop_remove_inverse_of_insert;
+    QCheck_alcotest.to_alcotest prop_invariants_under_mixed_ops;
+  ]

@@ -1,0 +1,108 @@
+open Rma_access
+open Rma_vclock
+open Rma_shadow
+
+let dbg line = Debug_info.make ~file:"shadow.c" ~line ~operation:"op"
+
+let standard_hb stamp clock = Vclock.stamp_observed stamp ~by:clock
+
+let shadow () = Shadow.create ~happens_before:standard_hb ()
+
+let iv lo hi = Interval.make ~lo ~hi
+
+let record t ~thread ~clock ~kind ~line lo hi =
+  Shadow.record_and_check t ~interval:(iv lo hi) ~thread ~clock ~kind ~issuer:thread
+    ~debug:(dbg line)
+
+let test_concurrent_write_write_races () =
+  let t = shadow () in
+  let c0 = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  let c1 = Vclock.tick (Vclock.create ~nprocs:2) 1 in
+  Alcotest.(check bool) "first clean" true
+    (record t ~thread:0 ~clock:c0 ~kind:Access_kind.Local_write ~line:1 0 7 = None);
+  Alcotest.(check bool) "concurrent write races" true
+    (record t ~thread:1 ~clock:c1 ~kind:Access_kind.Rma_write ~line:2 4 11 <> None)
+
+let test_ordered_accesses_safe () =
+  let t = shadow () in
+  let c0 = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  ignore (record t ~thread:0 ~clock:c0 ~kind:Access_kind.Local_write ~line:1 0 7);
+  (* Thread 1 learns thread 0's clock before accessing: ordered. *)
+  let c1 = Vclock.tick (Vclock.merge (Vclock.create ~nprocs:2) c0) 1 in
+  Alcotest.(check bool) "ordered write is safe" true
+    (record t ~thread:1 ~clock:c1 ~kind:Access_kind.Rma_write ~line:2 0 7 = None)
+
+let test_read_read_safe () =
+  let t = shadow () in
+  let c0 = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  let c1 = Vclock.tick (Vclock.create ~nprocs:2) 1 in
+  ignore (record t ~thread:0 ~clock:c0 ~kind:Access_kind.Local_read ~line:1 0 7);
+  Alcotest.(check bool) "concurrent reads safe" true
+    (record t ~thread:1 ~clock:c1 ~kind:Access_kind.Rma_read ~line:2 0 7 = None)
+
+let test_same_thread_safe () =
+  let t = shadow () in
+  let c = ref (Vclock.create ~nprocs:1) in
+  for i = 1 to 10 do
+    c := Vclock.tick !c 0;
+    Alcotest.(check bool) "same thread never races" true
+      (record t ~thread:0 ~clock:!c ~kind:Access_kind.Local_write ~line:i 0 7 = None)
+  done
+
+let test_disjoint_bytes_safe () =
+  let t = shadow () in
+  let c0 = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  let c1 = Vclock.tick (Vclock.create ~nprocs:2) 1 in
+  ignore (record t ~thread:0 ~clock:c0 ~kind:Access_kind.Local_write ~line:1 0 3);
+  (* Same 8-byte granule, disjoint bytes. *)
+  Alcotest.(check bool) "same granule, no overlap" true
+    (record t ~thread:1 ~clock:c1 ~kind:Access_kind.Rma_write ~line:2 4 7 = None)
+
+let test_eviction_bounded () =
+  let t = Shadow.create ~cells_per_granule:2 ~happens_before:standard_hb () in
+  let clock thread = Vclock.tick (Vclock.create ~nprocs:8) thread in
+  for thread = 0 to 5 do
+    ignore (record t ~thread ~clock:(clock thread) ~kind:Access_kind.Local_read ~line:thread 0 7)
+  done;
+  Alcotest.(check int) "one granule" 1 (Shadow.granules t);
+  Alcotest.(check int) "bounded cells" 2 (Shadow.cells t)
+
+let test_race_reports_cells () =
+  let t = shadow () in
+  let c0 = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  let c1 = Vclock.tick (Vclock.create ~nprocs:2) 1 in
+  ignore (record t ~thread:0 ~clock:c0 ~kind:Access_kind.Rma_write ~line:10 0 7);
+  match record t ~thread:1 ~clock:c1 ~kind:Access_kind.Local_read ~line:20 0 7 with
+  | None -> Alcotest.fail "expected race"
+  | Some r ->
+      Alcotest.(check int) "prior line" 10 r.Shadow.prior.Shadow.debug.Debug_info.line;
+      Alcotest.(check int) "current line" 20 r.Shadow.current.Shadow.debug.Debug_info.line
+
+let test_clear () =
+  let t = shadow () in
+  let c0 = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  ignore (record t ~thread:0 ~clock:c0 ~kind:Access_kind.Local_write ~line:1 0 7);
+  Shadow.clear t;
+  Alcotest.(check int) "no granules" 0 (Shadow.granules t)
+
+let test_multi_granule_spans () =
+  let t = shadow () in
+  let c0 = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  let c1 = Vclock.tick (Vclock.create ~nprocs:2) 1 in
+  ignore (record t ~thread:0 ~clock:c0 ~kind:Access_kind.Rma_write ~line:1 0 63);
+  Alcotest.(check int) "eight granules" 8 (Shadow.granules t);
+  Alcotest.(check bool) "overlap found in the middle" true
+    (record t ~thread:1 ~clock:c1 ~kind:Access_kind.Local_read ~line:2 40 41 <> None)
+
+let suite =
+  [
+    Alcotest.test_case "concurrent write/write races" `Quick test_concurrent_write_write_races;
+    Alcotest.test_case "ordered accesses safe" `Quick test_ordered_accesses_safe;
+    Alcotest.test_case "read/read safe" `Quick test_read_read_safe;
+    Alcotest.test_case "same thread safe" `Quick test_same_thread_safe;
+    Alcotest.test_case "disjoint bytes in a granule safe" `Quick test_disjoint_bytes_safe;
+    Alcotest.test_case "eviction bounded" `Quick test_eviction_bounded;
+    Alcotest.test_case "race reports both cells" `Quick test_race_reports_cells;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "multi-granule spans" `Quick test_multi_granule_spans;
+  ]

@@ -1,0 +1,214 @@
+open Mpi_sim
+open Rma_trace
+open Rma_analysis
+
+(* --- Codec --- *)
+
+let sample_events () =
+  (* Record a small real run for realistic event variety. *)
+  let recorder = Recorder.create () in
+  let _ =
+    Runtime.run ~nprocs:2 ~seed:4 ~config:Config.quiet_network ~observer:(Recorder.observer recorder)
+      (fun () ->
+        let rank = Mpi.comm_rank () in
+        let base = Mpi.alloc ~exposed:true 16 in
+        let win = Mpi.win_create ~base ~size:16 in
+        Mpi.win_lock_all win;
+        if rank = 0 then begin
+          let src = Mpi.alloc ~exposed:true ~storage:Memory.Stack 8 in
+          Mpi.store_i64 ~loc:(Mpi.loc ~file:"file with spaces.c" ~line:3 "Store") ~addr:src 5L;
+          Mpi.put win ~loc:(Mpi.loc ~file:"t%09.c" ~line:4 "MPI_Put") ~target:1 ~target_disp:0
+            ~origin_addr:src ~len:8
+        end;
+        Mpi.win_flush_all win;
+        Mpi.barrier ();
+        Mpi.win_unlock_all win;
+        Mpi.allreduce_int 1 ~op:Runtime.Sum |> ignore;
+        Mpi.win_free win)
+  in
+  Recorder.events recorder
+
+let test_codec_roundtrip_real_run () =
+  let events = sample_events () in
+  Alcotest.(check bool) "has events" true (List.length events > 10);
+  List.iter
+    (fun e ->
+      match Codec.decode_event (Codec.encode_event e) with
+      | Ok d ->
+          Alcotest.(check string) "roundtrip" (Codec.encode_event e) (Codec.encode_event d)
+      | Error msg -> Alcotest.failf "decode failed: %s" msg)
+    events
+
+let test_codec_escaping () =
+  List.iter
+    (fun s -> Alcotest.(check string) "escape roundtrip" s (Codec.unescape (Codec.escape s)))
+    [ "plain"; "with\ttab"; "with\nnewline"; "percent%09"; "%"; "" ]
+
+let test_codec_rejects_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Codec.decode_event "Q\tnot\ta\tthing"));
+  Alcotest.(check bool) "bad int rejected" true
+    (Result.is_error (Codec.decode_event "Z\tnotanint\t0.0"));
+  Alcotest.(check bool) "inverted interval rejected" true
+    (Result.is_error
+       (Codec.decode_event "A\t0\tLR\t9\t3\t0\t1\t-\t1\t0\t0.0\tf.c\t1\top"))
+
+let test_save_load_file () =
+  let recorder = Recorder.create () in
+  List.iter (fun e -> ignore (Recorder.observer recorder e)) (sample_events ());
+  let path = Filename.temp_file "rma_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Recorder.save recorder ~path;
+      match Recorder.load ~path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok events ->
+          Alcotest.(check int) "same length" (Recorder.length recorder) (List.length events);
+          List.iter2
+            (fun a b ->
+              Alcotest.(check string) "same event" (Codec.encode_event a) (Codec.encode_event b))
+            (Recorder.events recorder) events)
+
+(* --- Replay --- *)
+
+let racy_program () =
+  let rank = Mpi.comm_rank () in
+  let base = Mpi.alloc ~exposed:true 8 in
+  let win = Mpi.win_create ~base ~size:8 in
+  Mpi.win_lock_all win;
+  if rank = 0 then begin
+    let buf = Mpi.alloc ~exposed:true 8 in
+    Mpi.get win ~loc:(Mpi.loc ~file:"replay.c" ~line:10 "MPI_Get") ~target:1 ~target_disp:0
+      ~origin_addr:buf ~len:8;
+    ignore (Mpi.load ~loc:(Mpi.loc ~file:"replay.c" ~line:11 "Load") ~addr:buf ~len:8 ())
+  end;
+  Mpi.win_unlock_all win;
+  Mpi.win_free win
+
+let record_run program =
+  let recorder = Recorder.create () in
+  let _ =
+    Runtime.run ~nprocs:2 ~seed:2 ~config:Config.quiet_network
+      ~observer:(Recorder.observer recorder) program
+  in
+  Recorder.events recorder
+
+let test_replay_through_online_tool () =
+  let events = record_run racy_program in
+  let tool = Rma_analyzer.create ~nprocs:2 ~mode:Tool.Collect Rma_analyzer.Contribution in
+  let races = Recorder.replay events ~tool in
+  Alcotest.(check bool) "race found on replay" true (races <> [])
+
+let test_tee_records_and_forwards () =
+  let recorder = Recorder.create () in
+  let tool = Rma_analyzer.create ~nprocs:2 ~mode:Tool.Collect Rma_analyzer.Contribution in
+  let _ =
+    Runtime.run ~nprocs:2 ~seed:2 ~config:Config.quiet_network
+      ~observer:(Recorder.tee recorder tool.Tool.observer)
+      racy_program
+  in
+  Alcotest.(check bool) "tool saw events" true (Tool.flagged tool);
+  Alcotest.(check bool) "recorder saw events" true (Recorder.length recorder > 0)
+
+(* --- Post-mortem --- *)
+
+let test_post_mortem_finds_race () =
+  let events = record_run racy_program in
+  let result = Post_mortem.analyze events in
+  Alcotest.(check bool) "found" true (result.Post_mortem.distinct_pairs >= 1);
+  match Post_mortem.to_reports result with
+  | [] -> Alcotest.fail "no report"
+  | r :: _ ->
+      Alcotest.(check string) "tool name" "MC-Checker (post-mortem)" r.Report.tool
+
+let test_post_mortem_silent_on_safe_run () =
+  let safe_program () =
+    let rank = Mpi.comm_rank () in
+    let base = Mpi.alloc ~exposed:true 8 in
+    let win = Mpi.win_create ~base ~size:8 in
+    Mpi.win_lock_all win;
+    if rank = 0 then begin
+      let buf = Mpi.alloc ~exposed:true 8 in
+      ignore (Mpi.load ~addr:buf ~len:8 ());
+      Mpi.get win ~target:1 ~target_disp:0 ~origin_addr:buf ~len:8
+    end;
+    Mpi.win_unlock_all win;
+    Mpi.barrier ();
+    if rank = 1 then ignore (Mpi.load ~addr:base ~len:8 ());
+    Mpi.win_free win
+  in
+  let result = Post_mortem.analyze (record_run safe_program) in
+  Alcotest.(check int) "no races" 0 result.Post_mortem.distinct_pairs
+
+let test_post_mortem_enumerates_all_pairs () =
+  (* Two independent races in one epoch: the on-the-fly tool reports the
+     first and refuses the access; the post-mortem pass must find both
+     statement pairs. *)
+  let program () =
+    let rank = Mpi.comm_rank () in
+    let base = Mpi.alloc ~exposed:true 32 in
+    let win = Mpi.win_create ~base ~size:32 in
+    Mpi.win_lock_all win;
+    if rank = 0 then begin
+      let src = Mpi.alloc ~exposed:true 16 in
+      Mpi.put win ~loc:(Mpi.loc ~file:"pm.c" ~line:1 "MPI_Put") ~target:1 ~target_disp:0
+        ~origin_addr:src ~len:8;
+      Mpi.put win ~loc:(Mpi.loc ~file:"pm.c" ~line:2 "MPI_Put") ~target:1 ~target_disp:0
+        ~origin_addr:src ~len:8;
+      Mpi.put win ~loc:(Mpi.loc ~file:"pm.c" ~line:3 "MPI_Put") ~target:1 ~target_disp:16
+        ~origin_addr:(src + 8) ~len:8;
+      Mpi.put win ~loc:(Mpi.loc ~file:"pm.c" ~line:4 "MPI_Put") ~target:1 ~target_disp:16
+        ~origin_addr:(src + 8) ~len:8
+    end;
+    Mpi.win_unlock_all win;
+    Mpi.win_free win
+  in
+  let result = Post_mortem.analyze (record_run program) in
+  (* Pairs: (1,2) and (3,4) on the target window, plus origin-side
+     RMA_read overlaps are read/read (safe). *)
+  Alcotest.(check bool) "at least two distinct pairs" true
+    (result.Post_mortem.distinct_pairs >= 2)
+
+let test_post_mortem_suite_is_complete () =
+  (* With full traces (no alias filter, no stack blindness), the
+     post-mortem analysis classifies the entire 154-code suite
+     perfectly. *)
+  let confusion =
+    List.fold_left
+      (fun (fp, fn, tp, tn) s ->
+        let recorder = Recorder.create () in
+        (try
+           ignore
+             (Runtime.run ~nprocs:3 ~seed:11
+                ~config:{ Config.default with Config.analysis_overhead_scale = 0.0 }
+                ~observer:(Recorder.observer recorder)
+                (Rma_microbench.Runner.program s))
+         with Report.Race_abort _ -> ());
+        let result = Post_mortem.analyze (Recorder.events recorder) in
+        let flagged = result.Post_mortem.distinct_pairs > 0 in
+        match (s.Rma_microbench.Scenario.racy, flagged) with
+        | true, true -> (fp, fn, tp + 1, tn)
+        | true, false -> (fp, fn + 1, tp, tn)
+        | false, true -> (fp + 1, fn, tp, tn)
+        | false, false -> (fp, fn, tp, tn + 1))
+      (0, 0, 0, 0) Rma_microbench.Scenario.all
+  in
+  Alcotest.(check (list int)) "FP FN TP TN" [ 0; 0; 47; 107 ]
+    (let fp, fn, tp, tn = confusion in
+     [ fp; fn; tp; tn ])
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip on a real run" `Quick test_codec_roundtrip_real_run;
+    Alcotest.test_case "codec escaping" `Quick test_codec_escaping;
+    Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects_garbage;
+    Alcotest.test_case "save/load file" `Quick test_save_load_file;
+    Alcotest.test_case "replay through an online tool" `Quick test_replay_through_online_tool;
+    Alcotest.test_case "tee records and forwards" `Quick test_tee_records_and_forwards;
+    Alcotest.test_case "post-mortem finds the race" `Quick test_post_mortem_finds_race;
+    Alcotest.test_case "post-mortem silent on safe run" `Quick test_post_mortem_silent_on_safe_run;
+    Alcotest.test_case "post-mortem enumerates all pairs" `Quick
+      test_post_mortem_enumerates_all_pairs;
+    Alcotest.test_case "post-mortem suite is complete" `Slow test_post_mortem_suite_is_complete;
+  ]

@@ -1,0 +1,202 @@
+open Rma_util
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_different_seeds_differ () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:8 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:3 in
+  ignore (Prng.next_int64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays in [0, bound)" ~count:500
+    QCheck.(pair (int_range 0 1000) (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Prng.int rng ~bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let prop_int_in_range_bounds =
+  QCheck.Test.make ~name:"Prng.int_in_range inclusive bounds" ~count:500
+    QCheck.(triple (int_range 0 1000) (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, width) ->
+      let rng = Prng.create ~seed in
+      let hi = lo + width in
+      let v = Prng.int_in_range rng ~lo ~hi in
+      v >= lo && v <= hi)
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create ~seed:5 in
+  let arr = Array.init 100 (fun i -> i) in
+  Prng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 100 (fun i -> i));
+  Alcotest.(check bool) "actually shuffled" true (arr <> Array.init 100 (fun i -> i))
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create ~seed:1 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1" true (Prng.bernoulli rng ~p:1.0);
+    Alcotest.(check bool) "p=0" false (Prng.bernoulli rng ~p:0.0)
+  done
+
+let test_split_streams_decorrelated () =
+  let a = Prng.create ~seed:11 in
+  let child = Prng.split a in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Prng.next_int64 a = Prng.next_int64 child then incr same
+  done;
+  Alcotest.(check int) "no collisions" 0 !same
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.mean s);
+  Alcotest.(check (float 1e-9)) "total" 40.0 (Stats.total s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min_value s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max_value s);
+  (* Sample variance of that classic data set is 32/7. *)
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0) (Stats.variance s)
+
+let test_stats_merge () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  List.iter (Stats.add a) [ 1.0; 2.0; 3.0 ];
+  List.iter (Stats.add b) [ 10.0; 20.0 ];
+  List.iter (Stats.add whole) [ 1.0; 2.0; 3.0; 10.0; 20.0 ];
+  let merged = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean whole) (Stats.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.variance whole) (Stats.variance merged)
+
+let test_percentile () =
+  let samples () = [| 15.0; 20.0; 35.0; 40.0; 50.0 |] in
+  Alcotest.(check (float 1e-9)) "median" 35.0 (Stats.percentile (samples ()) ~p:50.0);
+  Alcotest.(check (float 1e-9)) "p0" 15.0 (Stats.percentile (samples ()) ~p:0.0);
+  Alcotest.(check (float 1e-9)) "p100" 50.0 (Stats.percentile (samples ()) ~p:100.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample array")
+    (fun () -> ignore (Stats.percentile [||] ~p:50.0))
+
+let prop_merge_matches_bulk =
+  QCheck.Test.make ~name:"Stats.merge equals bulk accumulation" ~count:200
+    QCheck.(pair (list (float_bound_exclusive 1000.0)) (list (float_bound_exclusive 1000.0)))
+    (fun (xs, ys) ->
+      let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+      List.iter (Stats.add a) xs;
+      List.iter (Stats.add b) ys;
+      List.iter (Stats.add whole) (xs @ ys);
+      let merged = Stats.merge a b in
+      Stats.count merged = Stats.count whole
+      && abs_float (Stats.mean merged -. Stats.mean whole) < 1e-6
+      && abs_float (Stats.variance merged -. Stats.variance whole) < 1e-3)
+
+(* --- Text_table --- *)
+
+let test_table_render () =
+  let t =
+    Text_table.create ~title:"T"
+      ~columns:[ ("a", Text_table.Left); ("bb", Text_table.Right) ]
+      ()
+  in
+  Text_table.add_row t [ "x"; "1" ];
+  Text_table.add_row t [ "yyyy"; "22" ];
+  let rendered = Text_table.render t in
+  Alcotest.(check bool) "contains title" true (String.length rendered > 0 && rendered.[0] = 'T');
+  Alcotest.(check bool) "right-aligned number" true
+    (let lines = String.split_on_char '\n' rendered in
+     List.exists (fun l -> l = "| x    |  1 |") lines)
+
+let test_table_arity_checked () =
+  let t = Text_table.create ~columns:[ ("a", Text_table.Left) ] () in
+  Alcotest.check_raises "arity" (Invalid_argument "Text_table.add_row: 2 cells for 1 columns")
+    (fun () -> Text_table.add_row t [ "x"; "y" ])
+
+let test_cell_helpers () =
+  Alcotest.(check string) "float" "3.14" (Text_table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "percent" "12.34%" (Text_table.cell_percent 0.12341)
+
+(* --- Timer --- *)
+
+let test_timer_accumulator () =
+  let acc = Timer.accumulator () in
+  let v = Timer.record acc (fun () -> 42) in
+  Alcotest.(check int) "passthrough" 42 v;
+  Alcotest.(check bool) "non-negative" true (Timer.elapsed acc >= 0.0);
+  Timer.reset acc;
+  Alcotest.(check (float 0.0)) "reset" 0.0 (Timer.elapsed acc)
+
+let suite =
+  [
+    Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng seeds differ" `Quick test_prng_different_seeds_differ;
+    Alcotest.test_case "prng copy independent" `Quick test_prng_copy_independent;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_int_in_range_bounds;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "split streams decorrelated" `Quick test_split_streams_decorrelated;
+    Alcotest.test_case "stats basics" `Quick test_stats_basic;
+    Alcotest.test_case "stats merge" `Quick test_stats_merge;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    QCheck_alcotest.to_alcotest prop_merge_matches_bulk;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table arity checked" `Quick test_table_arity_checked;
+    Alcotest.test_case "cell helpers" `Quick test_cell_helpers;
+    Alcotest.test_case "timer accumulator" `Quick test_timer_accumulator;
+  ]
+
+(* --- Chart --- *)
+
+let chart_suite =
+  let test_bar_chart () =
+    let rendered =
+      Chart.bar_chart ~width:10 ~unit_label:"s" ~title:"T"
+        [ ("a", 1.0); ("bb", 2.0); ("c", 0.0) ]
+    in
+    let lines = String.split_on_char '\n' rendered in
+    Alcotest.(check bool) "title first" true (List.hd lines = "T");
+    Alcotest.(check bool) "max bar full width" true
+      (List.exists (fun l -> String.length l > 0 &&
+         (let hashes = String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 l in
+          hashes = 10)) lines);
+    Alcotest.(check bool) "zero bar empty" true
+      (List.exists (fun l -> String.length l > 3 && String.sub (String.trim l) 0 1 = "c"
+         && not (String.contains l '#')) lines)
+  in
+  let test_grouped_chart_shares_scale () =
+    let rendered =
+      Chart.grouped_bar_chart ~width:8 ~title:"G" ~group_label:"n ="
+        [ ("1", [ ("x", 4.0) ]); ("2", [ ("x", 8.0) ]) ]
+    in
+    let count_hashes l = String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 l in
+    let lines = List.filter (fun l -> String.contains l '#') (String.split_on_char '\n' rendered) in
+    Alcotest.(check (list int)) "4 then 8 hashes" [ 4; 8 ] (List.map count_hashes lines)
+  in
+  [
+    Alcotest.test_case "bar chart" `Quick test_bar_chart;
+    Alcotest.test_case "grouped chart shares scale" `Quick test_grouped_chart_shares_scale;
+  ]
+
+let suite = suite @ chart_suite

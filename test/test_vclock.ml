@@ -1,0 +1,103 @@
+open Rma_vclock
+
+let test_create_and_get () =
+  let c = Vclock.create ~nprocs:4 in
+  for i = 0 to 3 do
+    Alcotest.(check int) "zero" 0 (Vclock.get c i)
+  done;
+  Alcotest.(check int) "missing component" 0 (Vclock.get c 99)
+
+let test_tick () =
+  let c = Vclock.create ~nprocs:2 in
+  let c = Vclock.tick c 0 in
+  let c = Vclock.tick c 0 in
+  let c = Vclock.tick c 1 in
+  Alcotest.(check int) "component 0" 2 (Vclock.get c 0);
+  Alcotest.(check int) "component 1" 1 (Vclock.get c 1)
+
+let test_merge () =
+  let a = Vclock.set (Vclock.set Vclock.empty 0 3) 1 1 in
+  let b = Vclock.set (Vclock.set Vclock.empty 0 1) 2 5 in
+  let m = Vclock.merge a b in
+  Alcotest.(check int) "max of 0" 3 (Vclock.get m 0);
+  Alcotest.(check int) "kept 1" 1 (Vclock.get m 1);
+  Alcotest.(check int) "kept 2" 5 (Vclock.get m 2)
+
+let test_happens_before () =
+  let a = Vclock.set Vclock.empty 0 1 in
+  let b = Vclock.set (Vclock.set Vclock.empty 0 1) 1 1 in
+  Alcotest.(check bool) "a < b" true (Vclock.happens_before a b);
+  Alcotest.(check bool) "b not < a" false (Vclock.happens_before b a);
+  Alcotest.(check bool) "a not < a" false (Vclock.happens_before a a);
+  Alcotest.(check bool) "not concurrent" false (Vclock.concurrent a b)
+
+let test_concurrent () =
+  let a = Vclock.set Vclock.empty 0 1 in
+  let b = Vclock.set Vclock.empty 1 1 in
+  Alcotest.(check bool) "concurrent" true (Vclock.concurrent a b);
+  Alcotest.(check bool) "no hb" false (Vclock.happens_before a b || Vclock.happens_before b a)
+
+let test_stamps () =
+  let writer = Vclock.tick (Vclock.create ~nprocs:2) 0 in
+  let stamp = Vclock.stamp_of writer ~thread:0 in
+  let ignorant = Vclock.create ~nprocs:2 in
+  let informed = Vclock.merge ignorant writer in
+  Alcotest.(check bool) "unknown to ignorant" false (Vclock.stamp_observed stamp ~by:ignorant);
+  Alcotest.(check bool) "known after merge" true (Vclock.stamp_observed stamp ~by:informed)
+
+let test_size_counts_nonzero () =
+  let c = Vclock.set (Vclock.set (Vclock.create ~nprocs:8) 3 1) 5 2 in
+  Alcotest.(check int) "two live components" 2 (Vclock.size c)
+
+let clock_gen =
+  QCheck.Gen.(
+    let* entries = list_size (int_range 0 6) (pair (int_range 0 9) (int_range 1 5)) in
+    return (List.fold_left (fun c (i, v) -> Vclock.set c i (max v (Vclock.get c i))) Vclock.empty entries))
+
+let arb_clock = QCheck.make ~print:(fun c -> Format.asprintf "%a" Vclock.pp c) clock_gen
+
+let prop_merge_upper_bound =
+  QCheck.Test.make ~name:"merge is an upper bound" ~count:300 (QCheck.pair arb_clock arb_clock)
+    (fun (a, b) ->
+      let m = Vclock.merge a b in
+      Vclock.leq a m && Vclock.leq b m)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"merge commutative" ~count:300 (QCheck.pair arb_clock arb_clock)
+    (fun (a, b) -> Vclock.equal (Vclock.merge a b) (Vclock.merge b a))
+
+let prop_hb_irreflexive_antisymmetric =
+  QCheck.Test.make ~name:"happens_before is a strict order" ~count:300
+    (QCheck.pair arb_clock arb_clock)
+    (fun (a, b) ->
+      (not (Vclock.happens_before a a))
+      && not (Vclock.happens_before a b && Vclock.happens_before b a))
+
+let prop_exactly_one_relation =
+  QCheck.Test.make ~name:"hb/concurrent/equal partition" ~count:300
+    (QCheck.pair arb_clock arb_clock)
+    (fun (a, b) ->
+      let relations =
+        [
+          Vclock.happens_before a b;
+          Vclock.happens_before b a;
+          Vclock.equal a b;
+          Vclock.concurrent a b;
+        ]
+      in
+      List.length (List.filter (fun x -> x) relations) = 1)
+
+let suite =
+  [
+    Alcotest.test_case "create and get" `Quick test_create_and_get;
+    Alcotest.test_case "tick" `Quick test_tick;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "happens before" `Quick test_happens_before;
+    Alcotest.test_case "concurrent" `Quick test_concurrent;
+    Alcotest.test_case "stamps" `Quick test_stamps;
+    Alcotest.test_case "size counts non-zero" `Quick test_size_counts_nonzero;
+    QCheck_alcotest.to_alcotest prop_merge_upper_bound;
+    QCheck_alcotest.to_alcotest prop_merge_commutative;
+    QCheck_alcotest.to_alcotest prop_hb_irreflexive_antisymmetric;
+    QCheck_alcotest.to_alcotest prop_exactly_one_relation;
+  ]
