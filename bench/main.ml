@@ -170,6 +170,8 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let scale = ref 0.1 in
   let ranks = ref None in
+  let obs_out = ref None in
+  let obs_summary = ref false in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -179,6 +181,12 @@ let () =
     | "--ranks" :: v :: rest ->
         ranks := Some (List.map int_of_string (String.split_on_char ',' v));
         parse rest
+    | "--obs-out" :: v :: rest ->
+        obs_out := Some v;
+        parse rest
+    | "--obs-summary" :: rest ->
+        obs_summary := true;
+        parse rest
     | arg :: rest ->
         selected := arg :: !selected;
         parse rest
@@ -186,6 +194,7 @@ let () =
   parse args;
   let selected = if !selected = [] then [ "all" ] else List.rev !selected in
   let scale = !scale and ranks = !ranks in
+  if !obs_out <> None || !obs_summary then Rma_obs.Obs.enable ();
   let dispatch = function
     | "table2" -> run_table2 ()
     | "table3" -> run_table3 ()
@@ -217,4 +226,16 @@ let () =
           other;
         exit 2
   in
-  List.iter dispatch selected
+  (* Each experiment becomes a top-level phase span so a trace of the
+     full sweep shows where the wall time went. *)
+  let dispatch name =
+    let (), _ = Rma_obs.Obs.time_span ~cat:"phase" name (fun () -> dispatch name) in
+    ()
+  in
+  List.iter dispatch selected;
+  (match !obs_out with
+  | Some path ->
+      Rma_obs.Chrome_trace.write ~path ();
+      Printf.eprintf "obs: wrote Chrome trace to %s\n%!" path
+  | None -> ());
+  if !obs_summary then print_string (Rma_obs.Summary.to_string ())

@@ -11,6 +11,70 @@
 open Cmdliner
 open Rma_analysis
 
+(* --- observability flags, shared by every subcommand --- *)
+
+type obs_opts = {
+  obs_out : string option;
+  obs_summary : bool;
+  obs_prometheus : string option;
+  obs_sample : int;
+}
+
+let obs_term =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-out" ] ~docv:"FILE"
+          ~doc:
+            "Record metrics and spans during the run and write a Chrome trace_event JSON file to \
+             $(docv) (open in Perfetto or chrome://tracing).")
+  in
+  let summary =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:"Print a metrics summary (latency percentiles, counters, span categories) after the run.")
+  in
+  let prometheus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-prometheus" ] ~docv:"FILE"
+          ~doc:"Write metrics in Prometheus text exposition format to $(docv).")
+  in
+  let sample =
+    Arg.(
+      value & opt int 1
+      & info [ "obs-sample" ] ~docv:"N"
+          ~doc:"Record one span out of every $(docv) (1 keeps all; metrics are never sampled).")
+  in
+  let mk obs_out obs_summary obs_prometheus obs_sample =
+    { obs_out; obs_summary; obs_prometheus; obs_sample }
+  in
+  Term.(const mk $ out $ summary $ prometheus $ sample)
+
+let with_obs opts f =
+  let active = opts.obs_out <> None || opts.obs_summary || opts.obs_prometheus <> None in
+  if active then begin
+    Rma_obs.Obs.enable ();
+    Rma_obs.Obs.set_sampling ~keep_one_in:(max 1 opts.obs_sample)
+  end;
+  let export () =
+    if active then begin
+      let write_file what write path =
+        try
+          write ~path ();
+          Printf.eprintf "obs: wrote %s to %s\n%!" what path
+        with Sys_error msg -> Printf.eprintf "obs: cannot write %s: %s\n%!" what msg
+      in
+      Option.iter (write_file "Chrome trace" Rma_obs.Chrome_trace.write) opts.obs_out;
+      Option.iter (write_file "Prometheus metrics" Rma_obs.Prometheus.write) opts.obs_prometheus;
+      if opts.obs_summary then print_string (Rma_obs.Summary.to_string ())
+    end
+  in
+  Fun.protect ~finally:export f
+
 let tool_enum = List.map (fun k -> (Toolbox.slug k, k)) Toolbox.all
 
 let make_tool choice ~nprocs ~config = Toolbox.make choice ~nprocs ~config ()
@@ -29,7 +93,12 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Sche
 let config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 2.0 }
 
 let print_tool_outcome tool =
-  Printf.printf "reports: %d\n" (tool.Tool.race_count ());
+  let total = tool.Tool.race_count () in
+  let dropped = Tool.dropped_races tool in
+  if dropped > 0 then
+    Printf.printf "reports: %d (%d stored, %d dropped past the report cap)\n" total
+      (Tool.stored_races tool) dropped
+  else Printf.printf "reports: %d\n" total;
   List.iteri
     (fun i r -> if i < 5 then Printf.printf "  %s\n" (Report.to_message r))
     (tool.Tool.races ());
@@ -41,7 +110,8 @@ let print_tool_outcome tool =
 (* --- suite --- *)
 
 let suite_cmd =
-  let run tool_choice =
+  let run obs tool_choice =
+    with_obs obs @@ fun () ->
     let tool = make_tool tool_choice ~nprocs:3 ~config in
     match tool_choice with
     | Toolbox.Baseline -> print_endline "the baseline detects nothing; pick a real tool"
@@ -53,7 +123,7 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Score a detector on the 154-code microbenchmark suite (Table 3).")
-    Term.(const run $ tool_arg)
+    Term.(const run $ obs_term $ tool_arg)
 
 (* --- code --- *)
 
@@ -61,7 +131,8 @@ let code_cmd =
   let name_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CODE" ~doc:"Microbenchmark name.")
   in
-  let run tool_choice name =
+  let run obs tool_choice name =
+    with_obs obs @@ fun () ->
     match Rma_microbench.Scenario.find name with
     | None ->
         Printf.eprintf "unknown code %S\n" name;
@@ -78,7 +149,7 @@ let code_cmd =
   in
   Cmd.v
     (Cmd.info "code" ~doc:"Run one microbenchmark code under a detector.")
-    Term.(const run $ tool_arg $ name_arg)
+    Term.(const run $ obs_term $ tool_arg $ name_arg)
 
 (* --- minivite --- *)
 
@@ -89,7 +160,8 @@ let minivite_cmd =
   let inject_arg =
     Arg.(value & flag & info [ "inject" ] ~doc:"Duplicate one MPI_Put (the Figure 9 fault).")
   in
-  let run tool_choice nprocs seed vertices inject =
+  let run obs tool_choice nprocs seed vertices inject =
+    with_obs obs @@ fun () ->
     let params =
       {
         Minivite.Louvain.default_params with
@@ -112,7 +184,7 @@ let minivite_cmd =
   in
   Cmd.v
     (Cmd.info "minivite" ~doc:"Run the MiniVite-like Louvain phase under a detector.")
-    Term.(const run $ tool_arg $ ranks_arg 32 $ seed_arg $ vertices_arg $ inject_arg)
+    Term.(const run $ obs_term $ tool_arg $ ranks_arg 32 $ seed_arg $ vertices_arg $ inject_arg)
 
 (* --- cfd --- *)
 
@@ -123,7 +195,8 @@ let cfd_cmd =
   let cells_arg =
     Arg.(value & opt int 432 & info [ "cells" ] ~docv:"C" ~doc:"Cells per halo chunk.")
   in
-  let run tool_choice nprocs seed iterations cells =
+  let run obs tool_choice nprocs seed iterations cells =
+    with_obs obs @@ fun () ->
     let params =
       { Cfd_proxy.Halo.default_params with Cfd_proxy.Halo.iterations; cells_per_chunk = cells }
     in
@@ -139,7 +212,7 @@ let cfd_cmd =
   in
   Cmd.v
     (Cmd.info "cfd" ~doc:"Run the CFD-Proxy-like halo exchange under a detector.")
-    Term.(const run $ tool_arg $ ranks_arg 12 $ seed_arg $ iterations_arg $ cells_arg)
+    Term.(const run $ obs_term $ tool_arg $ ranks_arg 12 $ seed_arg $ iterations_arg $ cells_arg)
 
 (* --- experiment --- *)
 
@@ -154,7 +227,8 @@ let experiment_cmd =
   let scale_arg =
     Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"MiniVite input scale factor.")
   in
-  let run which scale =
+  let run obs which scale =
+    with_obs obs @@ fun () ->
     let open Rma_report in
     match which with
     | "table2" -> print_string (snd (Experiments.table2 ()))
@@ -173,7 +247,7 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(const run $ which_arg $ scale_arg)
+    Term.(const run $ obs_term $ which_arg $ scale_arg)
 
 (* --- bfs --- *)
 
@@ -181,7 +255,8 @@ let bfs_cmd =
   let vertices_arg =
     Arg.(value & opt int 20_000 & info [ "vertices" ] ~docv:"V" ~doc:"Graph size.")
   in
-  let run tool_choice nprocs seed vertices =
+  let run obs tool_choice nprocs seed vertices =
+    with_obs obs @@ fun () ->
     let params =
       {
         Graph500.Bfs.default_params with
@@ -203,7 +278,7 @@ let bfs_cmd =
   in
   Cmd.v
     (Cmd.info "bfs" ~doc:"Run the Graph500-style fence-synchronised BFS under a detector.")
-    Term.(const run $ tool_arg $ ranks_arg 16 $ seed_arg $ vertices_arg)
+    Term.(const run $ obs_term $ tool_arg $ ranks_arg 16 $ seed_arg $ vertices_arg)
 
 (* --- export --- *)
 
@@ -221,14 +296,15 @@ let export_cmd =
   let scale_arg =
     Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"MiniVite input scale factor.")
   in
-  let run dir experiments scale =
+  let run obs dir experiments scale =
+    with_obs obs @@ fun () ->
     Rma_report.Experiments.export ~dir ~scale experiments;
     Printf.printf "exported %s to %s/
 " (String.concat ", " experiments) dir
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export experiment data as CSV (and the suite as C sources).")
-    Term.(const run $ dir_arg $ experiments_arg $ scale_arg)
+    Term.(const run $ obs_term $ dir_arg $ experiments_arg $ scale_arg)
 
 let () =
   let doc = "Data race detection for MPI-RMA programs (SC-W 2023 reproduction)" in

@@ -18,6 +18,7 @@ type state = {
   nprocs : int;
   config : Config.t;
   mode : Tool.mode;
+  max_reports : int;
   mutable clocks : Vclock.t array;  (* per rank *)
   shadows : Shadow.t array;  (* per address space *)
   mutable next_vid : int;
@@ -33,8 +34,6 @@ type state = {
 
 let name = "MUST-RMA"
 
-let max_stored_reports = 1000
-
 let access_of_cell (c : Shadow.cell) =
   Access.make
     ~interval:(Interval.make ~lo:c.Shadow.lo ~hi:c.Shadow.hi)
@@ -48,7 +47,7 @@ let record_race st ~space ~win ~(race : Shadow.race) ~sim_time =
       ~sim_time
   in
   st.race_count <- st.race_count + 1;
-  if st.race_count <= max_stored_reports then st.races <- report :: st.races;
+  if st.race_count <= st.max_reports then st.races <- report :: st.races;
   match st.mode with
   | Tool.Abort_on_race -> raise (Report.Race_abort report)
   | Tool.Collect -> ()
@@ -168,7 +167,7 @@ let observer st event =
       0.0
   | Event.Finished _ -> 0.0
 
-let create ~nprocs ?(config = Config.default) ?(mode = Tool.Collect) () =
+let create ~nprocs ?(config = Config.default) ?(mode = Tool.Collect) ?(max_reports = 1000) () =
   let fresh_clocks () = Array.init nprocs (fun _ -> Vclock.create ~nprocs) in
   (* The shadow memories need the state's happens-before test before the
      state exists; tie the knot through a reference. *)
@@ -178,6 +177,7 @@ let create ~nprocs ?(config = Config.default) ?(mode = Tool.Collect) () =
       nprocs;
       config;
       mode;
+      max_reports;
       clocks = fresh_clocks ();
       shadows =
         Array.init nprocs (fun _ ->

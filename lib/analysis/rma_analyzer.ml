@@ -2,6 +2,7 @@ open Rma_access
 open Rma_store
 module Event = Mpi_sim.Event
 module Config = Mpi_sim.Config
+module Obs = Rma_obs.Obs
 
 type policy = Legacy | Contribution | Fragmentation_only | Order_blind | Strided_extension
 
@@ -36,6 +37,7 @@ type tree = {
   store : store;
   mutable epoch_open : bool;
   mutable nodes_at_last_close : int option;
+  mutable epoch_span : Obs.span option;  (* open Epoch_opened..Epoch_closed trace span *)
 }
 
 type state = {
@@ -45,14 +47,17 @@ type state = {
   flush_clears : bool;
   policy : policy;
   name : string;
+  max_reports : int;
   trees : (int * Event.win_id, tree) Hashtbl.t;  (* (space, window) *)
-  epoch_closers : (Event.win_id, int) Hashtbl.t;
-      (* Ranks that closed their epoch on a window since the last global
-         clear. The §5.1 protocol ends every epoch with an MPI_Reduce and
-         a wait for pending remote-access notifications, so a window's
-         trees are only cleared once EVERY rank has closed — otherwise a
-         target would drop remote accesses from origins still inside
-         their epoch. *)
+  epoch_closers : (Event.win_id, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* The DISTINCT ranks that closed an epoch on a window since the
+         last global clear. The §5.1 protocol ends every epoch with an
+         MPI_Reduce and a wait for pending remote-access notifications,
+         so a window's trees are only cleared once EVERY rank has closed
+         — otherwise a target would drop remote accesses from origins
+         still inside their epoch. A per-window set (not a close-event
+         count): one rank closing several epochs before the others close
+         any must not reach [nprocs] on its own. *)
   mutable races : Report.t list;
   mutable race_count : int;
 }
@@ -69,16 +74,32 @@ let tree_for st key =
   match Hashtbl.find_opt st.trees key with
   | Some t -> t
   | None ->
-      let t = { store = new_store st.policy; epoch_open = false; nodes_at_last_close = None } in
+      let t =
+        { store = new_store st.policy; epoch_open = false; nodes_at_last_close = None;
+          epoch_span = None }
+      in
       Hashtbl.replace st.trees key t;
       t
 
-let max_stored_reports = 1000
+let obs_races = Obs.counter ~help:"Race reports recorded by the analyzer" "analyzer.races"
+
+let obs_nodes_at_close =
+  Obs.histogram ~unit_:"nodes" ~help:"Tree size sampled at each epoch close (Table 4 metric)"
+    "analyzer.nodes_at_close"
+
+let obs_tree_nodes =
+  Obs.gauge ~help:"Tree size at the most recent epoch close" "analyzer.tree_nodes"
+
+let obs_epoch_closes = Obs.counter ~help:"Epoch close events observed" "analyzer.epoch_closes"
+
+let obs_window_clears =
+  Obs.counter ~help:"Global window clears (all ranks closed)" "analyzer.window_clears"
 
 let record_race st ~space ~win ~existing ~incoming ~sim_time =
   let report = Report.make ~tool:st.name ~space ~win ~existing ~incoming ~sim_time in
   st.race_count <- st.race_count + 1;
-  if st.race_count <= max_stored_reports then st.races <- report :: st.races;
+  Obs.incr obs_races;
+  if st.race_count <= st.max_reports then st.races <- report :: st.races;
   match st.mode with
   | Tool.Abort_on_race -> raise (Report.Race_abort report)
   | Tool.Collect -> ()
@@ -129,20 +150,40 @@ let on_access st (a : Event.access_event) =
 let observer st event =
   match event with
   | Event.Access a -> on_access st a
-  | Event.Epoch_opened { win; rank; _ } ->
+  | Event.Epoch_opened { win; rank; sim_time } ->
       let tree = tree_for st (rank, win) in
       tree.epoch_open <- true;
+      if Obs.is_enabled () then
+        tree.epoch_span <-
+          Obs.start_span ~cat:"epoch" ~pid:(Obs.sim_pid ()) ~tid:rank ~at:sim_time
+            (Printf.sprintf "epoch win=%d" win);
       0.0
-  | Event.Epoch_closed { win; rank; _ } ->
+  | Event.Epoch_closed { win; rank; sim_time } ->
       let tree = tree_for st (rank, win) in
       tree.epoch_open <- false;
-      tree.nodes_at_last_close <- Some (store_size tree.store);
-      let closed = Option.value (Hashtbl.find_opt st.epoch_closers win) ~default:0 + 1 in
-      if closed >= st.nprocs then begin
+      let nodes = store_size tree.store in
+      tree.nodes_at_last_close <- Some nodes;
+      if Obs.is_enabled () then begin
+        Obs.finish_span ~at:sim_time ~args:[ ("nodes", string_of_int nodes) ] tree.epoch_span;
+        tree.epoch_span <- None;
+        Obs.observe_int obs_nodes_at_close nodes;
+        Obs.set_gauge obs_tree_nodes (float_of_int nodes);
+        Obs.incr obs_epoch_closes
+      end;
+      let closers =
+        match Hashtbl.find_opt st.epoch_closers win with
+        | Some set -> set
+        | None ->
+            let set = Hashtbl.create st.nprocs in
+            Hashtbl.replace st.epoch_closers win set;
+            set
+      in
+      Hashtbl.replace closers rank ();
+      if Hashtbl.length closers >= st.nprocs then begin
         Hashtbl.remove st.epoch_closers win;
+        Obs.incr obs_window_clears;
         Hashtbl.iter (fun (_, w) t -> if w = win then store_clear t.store) st.trees
-      end
-      else Hashtbl.replace st.epoch_closers win closed;
+      end;
       (* The end-of-epoch MPI_Reduce counting remote accesses (§5.1). *)
       Config.collective_cost st.config ~nprocs:st.nprocs ~bytes_count:8
   | Event.Flushed { win; rank; _ } ->
@@ -178,7 +219,7 @@ let bst_summary st () =
     st.trees Tool.empty_bst_summary
 
 let create ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race) ?(flush_clears = false)
-    policy =
+    ?(max_reports = 1000) policy =
   let st =
     {
       nprocs;
@@ -187,6 +228,7 @@ let create ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race) ?(flu
       flush_clears;
       policy;
       name = policy_name policy;
+      max_reports;
       trees = Hashtbl.create 16;
       epoch_closers = Hashtbl.create 4;
       races = [];

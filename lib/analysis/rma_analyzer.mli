@@ -34,10 +34,15 @@ val create :
   ?config:Mpi_sim.Config.t ->
   ?mode:Tool.mode ->
   ?flush_clears:bool ->
+  ?max_reports:int ->
   policy ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Abort_on_race],
-    [flush_clears = false].
+    [flush_clears = false], [max_reports = 1000].
+
+    [max_reports] bounds the reports kept for {!Tool.t.races}; counting
+    ({!Tool.t.race_count}) is never truncated, and
+    {!Tool.dropped_races} exposes how many reports were not stored.
 
     [flush_clears:true] is the negative ablation of §6(2): it treats
     [MPI_Win_flush]/[flush_all] as if they synchronised the epoch and

@@ -30,6 +30,10 @@ type t = {
 
 let flagged t = t.race_count () > 0
 
+let stored_races t = List.length (t.races ())
+
+let dropped_races t = max 0 (t.race_count () - stored_races t)
+
 let baseline =
   {
     name = "Baseline";

@@ -25,7 +25,9 @@ type t = {
   name : string;
   observer : Mpi_sim.Event.observer;
   races : unit -> Report.t list;
-      (** Chronological; capped at the first 1000 reports. *)
+      (** Chronological; capped at the tool's [max_reports] (1000 by
+          default) — compare with [race_count] to spot truncation, or
+          use {!dropped_races}. *)
   race_count : unit -> int;  (** Total reported, including uncapped. *)
   bst_summary : unit -> bst_summary;
       (** All-zero for tools that do not use interval trees. *)
@@ -34,6 +36,13 @@ type t = {
 
 val flagged : t -> bool
 (** At least one race recorded. *)
+
+val stored_races : t -> int
+(** Number of reports actually kept ([List.length (races ())]). *)
+
+val dropped_races : t -> int
+(** Reports counted but not stored because the tool's [max_reports] cap
+    was hit; 0 when nothing was truncated. *)
 
 val baseline : t
 (** The no-tool configuration: observes nothing, costs nothing. *)

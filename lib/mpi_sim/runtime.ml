@@ -1,4 +1,5 @@
 open Rma_access
+module Obs = Rma_obs.Obs
 
 exception Mpi_error of string
 exception Deadlock of string
@@ -147,6 +148,23 @@ let fresh_gather () = { arrived = [] }
 (* Event emission                                                       *)
 (* ------------------------------------------------------------------ *)
 
+let obs_events = Obs.counter ~help:"Events dispatched to the observer" "sim.events_dispatched"
+
+let obs_observer_seconds =
+  Obs.histogram ~help:"Wall time of one observer call (detector work per event)"
+    "sim.observer_seconds"
+
+let obs_protocol_cost =
+  Obs.histogram ~help:"Simulated protocol cost reported by the observer per event"
+    "sim.protocol_cost_seconds"
+
+let obs_messages = Obs.counter ~help:"Point-to-point messages sent" "sim.messages_sent"
+
+let obs_collectives =
+  Obs.counter ~help:"Collective releases (barrier, allreduce, fence)" "sim.collective_releases"
+
+let obs_rma_ops = Obs.counter ~help:"One-sided operations issued (put/get/accumulate)" "sim.rma_ops"
+
 (* The observer's real computational work is measured and charged to the
    triggering rank's simulated clock (scaled), together with whatever
    simulated protocol cost the observer reports. This is how detector
@@ -156,6 +174,9 @@ let dispatch s ~charge_to event =
   let t0 = Rma_util.Timer.now () in
   let protocol_cost = s.observer event in
   let wall = Rma_util.Timer.now () -. t0 in
+  Obs.incr obs_events;
+  Obs.observe obs_observer_seconds wall;
+  Obs.observe obs_protocol_cost protocol_cost;
   let rk = s.ranks.(charge_to) in
   rk.clock <- rk.clock +. (wall *. s.config.Config.analysis_overhead_scale) +. protocol_cost
 
@@ -522,6 +543,7 @@ let handle_request s rank req k =
       in
       gather.arrived <- (rank, 0L, k) :: gather.arrived;
       if List.length gather.arrived = s.nprocs then begin
+        Obs.incr obs_collectives;
         Hashtbl.remove s.fence_states win;
         (* MPI_Win_fence is collective: it completes every outstanding
            one-sided operation on the window and separates epochs. *)
@@ -572,6 +594,7 @@ let handle_request s rank req k =
           (Mpi_error
              (Printf.sprintf "rank %d: put displacement [%d, %d) outside window of size %d" rank
                 target_disp (target_disp + len) w.win_size));
+      Obs.incr obs_rma_ops;
       rk.clock <- rk.clock +. cfg.Config.alpha_rma;
       let target_addr = w.bases.(target) + target_disp in
       (* Origin side: the Put reads the origin buffer (RMA_Read); target
@@ -601,6 +624,7 @@ let handle_request s rank req k =
           (Mpi_error
              (Printf.sprintf "rank %d: get displacement [%d, %d) outside window of size %d" rank
                 target_disp (target_disp + len) w.win_size));
+      Obs.incr obs_rma_ops;
       rk.clock <- rk.clock +. cfg.Config.alpha_rma;
       let target_addr = w.bases.(target) + target_disp in
       (* Origin side: the Get writes the origin buffer (RMA_Write);
@@ -631,6 +655,7 @@ let handle_request s rank req k =
                 rank target_disp (target_disp + len) w.win_size));
       if len mod 8 <> 0 then
         raise (Mpi_error (Printf.sprintf "rank %d: accumulate length %d not a multiple of 8" rank len));
+      Obs.incr obs_rma_ops;
       rk.clock <- rk.clock +. cfg.Config.alpha_rma;
       let target_addr = w.bases.(target) + target_disp in
       emit_access s ~space:rank ~issuer:rank
@@ -657,6 +682,7 @@ let handle_request s rank req k =
   | R_send { dst; tag; data } ->
       if dst < 0 || dst >= s.nprocs then
         raise (Mpi_error (Printf.sprintf "rank %d: send destination %d out of range" rank dst));
+      Obs.incr obs_messages;
       rk.clock <- rk.clock +. cfg.Config.alpha_msg;
       Queue.add { src = rank; tag; data = Bytes.copy data; sent_at = rk.clock } s.ranks.(dst).mailbox;
       try_deliver s dst;
@@ -669,6 +695,7 @@ let handle_request s rank req k =
   | R_barrier ->
       s.barrier_state.arrived <- (rank, 0L, k) :: s.barrier_state.arrived;
       if List.length s.barrier_state.arrived = s.nprocs then begin
+        Obs.incr obs_collectives;
         let gather = s.barrier_state in
         s.barrier_state <- fresh_gather ();
         List.iter
@@ -683,6 +710,7 @@ let handle_request s rank req k =
   | R_allreduce { value; op; as_float } ->
       s.allreduce_state.arrived <- (rank, value, k) :: s.allreduce_state.arrived;
       if List.length s.allreduce_state.arrived = s.nprocs then begin
+        Obs.incr obs_collectives;
         let gather = s.allreduce_state in
         s.allreduce_state <- fresh_gather ();
         let combined =
@@ -807,6 +835,7 @@ let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_
       live = nprocs;
     }
   in
+  Obs.begin_sim_run ();
   let wall0 = Rma_util.Timer.now () in
   for rank = 0 to nprocs - 1 do
     spawn s rank program
@@ -845,11 +874,37 @@ let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_
   done;
   if s.live > 0 then raise (Deadlock (describe_blocked s));
   let clocks = Array.map (fun rk -> rk.clock) s.ranks in
+  let wall1 = Rma_util.Timer.now () in
+  if Obs.is_enabled () then begin
+    (* One wall-clock span for the whole run, and one simulated-time span
+       per rank so the trace shows simulated vs wall durations side by
+       side. Epoch spans (from the analyzer) nest inside the rank spans. *)
+    Obs.emit_span ~cat:"run" ~pid:Obs.wall_pid ~tid:0
+      ~t0:(Obs.rel_time wall0) ~t1:(Obs.rel_time wall1)
+      ~args:
+        [
+          ("nprocs", string_of_int nprocs);
+          ("events", string_of_int s.events_emitted);
+          ("accesses", string_of_int s.accesses_emitted);
+        ]
+      "Runtime.run";
+    Array.iter
+      (fun rk ->
+        Obs.emit_span ~cat:"rank" ~pid:(Obs.sim_pid ()) ~tid:rk.rank ~t0:0.0 ~t1:rk.clock
+          ~args:
+            [
+              ("sim_seconds", Printf.sprintf "%.9f" rk.clock);
+              ("epoch_seconds", Printf.sprintf "%.9f" rk.epoch_time);
+              ("wall_seconds_whole_run", Printf.sprintf "%.9f" (wall1 -. wall0));
+            ]
+          (Printf.sprintf "rank %d (simulated)" rk.rank))
+      s.ranks
+  end;
   {
     clocks;
     epoch_times = Array.map (fun rk -> rk.epoch_time) s.ranks;
     makespan = Array.fold_left Float.max 0.0 clocks;
-    wall_seconds = Rma_util.Timer.now () -. wall0;
+    wall_seconds = wall1 -. wall0;
     events_emitted = s.events_emitted;
     accesses_emitted = s.accesses_emitted;
   }

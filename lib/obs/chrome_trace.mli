@@ -1,0 +1,13 @@
+(** Chrome [trace_event] JSON export of the registry — loadable in
+    [chrome://tracing] and Perfetto (ui.perfetto.dev).
+
+    Spans become complete ("X") events with microsecond [ts]/[dur];
+    counters become counter ("C") samples; histograms become global
+    instant ("i") events whose [args] carry count, p50/p95/p99, max and
+    mean — the "insert-latency histogram metadata" of the trace. *)
+
+val to_json : unit -> string
+(** The full trace as one JSON document. *)
+
+val write : path:string -> unit -> unit
+(** Write {!to_json} to [path]. *)

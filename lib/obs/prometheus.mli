@@ -1,0 +1,8 @@
+(** Prometheus text-format dump of the registry: counters and gauges as
+    single samples, histograms as summaries with p50/p95/p99 quantile
+    labels plus [_sum]/[_count]. Metric names are sanitised to the
+    Prometheus charset with an [rma_] prefix. *)
+
+val to_text : unit -> string
+
+val write : path:string -> unit -> unit

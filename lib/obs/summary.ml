@@ -1,0 +1,89 @@
+module Table = Rma_util.Text_table
+
+let cell v = Printf.sprintf "%.4g" v
+
+let histogram_table () =
+  let populated = List.filter (fun h -> Histogram.count h > 0) (Obs.all_histograms ()) in
+  if populated = [] then None
+  else begin
+    let t =
+      Table.create ~title:"Histograms (log-scale buckets, ~9% quantile resolution)"
+        ~columns:
+          [ ("Metric", Table.Left); ("Unit", Table.Left); ("Count", Table.Right);
+            ("p50", Table.Right); ("p95", Table.Right); ("p99", Table.Right);
+            ("Max", Table.Right); ("Mean", Table.Right) ]
+        ()
+    in
+    List.iter
+      (fun h ->
+        Table.add_row t
+          [
+            Histogram.name h; Histogram.unit_label h; string_of_int (Histogram.count h);
+            cell (Histogram.quantile h 0.50); cell (Histogram.quantile h 0.95);
+            cell (Histogram.quantile h 0.99); cell (Histogram.max_value h);
+            cell (Histogram.mean h);
+          ])
+      populated;
+    Some (Table.render t)
+  end
+
+let counter_table () =
+  let counters = List.filter (fun (c : Obs.counter) -> c.Obs.c_value <> 0) (Obs.all_counters ()) in
+  let gauges = List.filter (fun (g : Obs.gauge) -> g.Obs.g_value <> 0.0) (Obs.all_gauges ()) in
+  if counters = [] && gauges = [] then None
+  else begin
+    let t =
+      Table.create ~title:"Counters and gauges"
+        ~columns:[ ("Metric", Table.Left); ("Value", Table.Right) ]
+        ()
+    in
+    List.iter
+      (fun (c : Obs.counter) -> Table.add_row t [ c.Obs.c_name; string_of_int c.Obs.c_value ])
+      counters;
+    if counters <> [] && gauges <> [] then Table.add_rule t;
+    List.iter (fun (g : Obs.gauge) -> Table.add_row t [ g.Obs.g_name; cell g.Obs.g_value ]) gauges;
+    Some (Table.render t)
+  end
+
+let category_table () =
+  let cats = List.filter (fun (_, s) -> s > 0.0) (Obs.all_categories ()) in
+  if cats = [] then None
+  else begin
+    let t =
+      Table.create ~title:"Wall seconds by span category"
+        ~columns:[ ("Category", Table.Left); ("Seconds", Table.Right) ]
+        ()
+    in
+    List.iter (fun (cat, s) -> Table.add_row t [ cat; Printf.sprintf "%.6f" s ]) cats;
+    Some (Table.render t)
+  end
+
+let phase_table () =
+  let phases =
+    List.filter (fun (sp : Obs.span) -> String.equal sp.Obs.sp_cat "phase") (Obs.all_spans ())
+    |> List.sort (fun (a : Obs.span) b -> compare a.Obs.sp_t0 b.Obs.sp_t0)
+  in
+  if phases = [] then None
+  else begin
+    let t =
+      Table.create ~title:"Wall-clock phases"
+        ~columns:
+          [ ("Phase", Table.Left); ("Start (s)", Table.Right); ("Duration (s)", Table.Right) ]
+        ()
+    in
+    List.iter
+      (fun (sp : Obs.span) ->
+        Table.add_row t
+          [
+            sp.Obs.sp_name; Printf.sprintf "%.6f" sp.Obs.sp_t0;
+            Printf.sprintf "%.6f" (sp.Obs.sp_t1 -. sp.Obs.sp_t0);
+          ])
+      phases;
+    Some (Table.render t)
+  end
+
+let to_string () =
+  let sections = List.filter_map Fun.id [ histogram_table (); counter_table (); category_table (); phase_table () ] in
+  let n_spans = List.length (Obs.all_spans ()) in
+  let body = if sections = [] then "observability: no metrics recorded\n" else String.concat "\n" sections in
+  body ^ Printf.sprintf "\n(%d spans recorded)\n" n_spans

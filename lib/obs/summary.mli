@@ -1,0 +1,6 @@
+(** Human-readable summary of the registry, rendered with
+    {!Rma_util.Text_table}: a percentile table for every populated
+    histogram, counter and gauge tables, wall seconds per span
+    category, and the recorded wall-clock phases. *)
+
+val to_string : unit -> string

@@ -36,9 +36,14 @@ type metrics = {
 let measure ~nprocs ?(config = Mpi_sim.Config.default) ~workload kind =
   let tool = make_tool kind ~nprocs ~config in
   let observer = match kind with Baseline -> None | _ -> Some tool.Tool.observer in
-  let t0 = Rma_util.Timer.now () in
-  let result = workload ~observer in
-  let wall = Rma_util.Timer.now () -. t0 in
+  (* The measurement IS the span: the wall time reported in tables and
+     the one exported to the Chrome trace come from the same
+     Obs.time_span reading, so they cannot disagree. *)
+  let result, wall =
+    Rma_obs.Obs.time_span ~cat:"phase"
+      (Printf.sprintf "measure %s (%d ranks)" (kind_name kind) nprocs)
+      (fun () -> workload ~observer)
+  in
   let b = tool.Tool.bst_summary () in
   let epoch_total = Array.fold_left ( +. ) 0.0 result.Mpi_sim.Runtime.epoch_times in
   {

@@ -1,4 +1,6 @@
 open Rma_access
+module Obs = Rma_obs.Obs
+
 type t = {
   tree : Avl.t;
   order_aware : bool;
@@ -64,7 +66,19 @@ let merge_pieces t pieces =
   t.merges_performed <- t.merges_performed + merges;
   merged
 
-let insert t access =
+let obs_insert_seconds =
+  Obs.histogram ~help:"Wall time of one Disjoint_store.insert (Algorithm 1)"
+    "store.disjoint.insert_seconds"
+
+let obs_fragments =
+  Obs.histogram ~unit_:"count" ~help:"Fragments created per insert (section 4.1)"
+    "store.disjoint.fragments_per_insert"
+
+let obs_merges =
+  Obs.histogram ~unit_:"count" ~help:"Node pairs merged per insert (section 4.2)"
+    "store.disjoint.merges_per_insert"
+
+let insert_uninstrumented t access =
   t.inserts <- t.inserts + 1;
   let candidates = neighbourhood t access in
   match candidates with
@@ -85,6 +99,18 @@ let insert t access =
           List.iter (fun piece -> Avl.insert t.tree piece) final;
           if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
           Store_intf.Inserted)
+
+let insert t access =
+  if not (Obs.is_enabled ()) then insert_uninstrumented t access
+  else begin
+    let t0 = Rma_util.Timer.now () in
+    let f0 = t.fragments_created and m0 = t.merges_performed in
+    let outcome = insert_uninstrumented t access in
+    Obs.observe obs_insert_seconds (Rma_util.Timer.now () -. t0);
+    Obs.observe_int obs_fragments (t.fragments_created - f0);
+    Obs.observe_int obs_merges (t.merges_performed - m0);
+    outcome
+  end
 
 let size t = Avl.size t.tree
 

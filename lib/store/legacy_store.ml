@@ -1,4 +1,6 @@
 open Rma_access
+module Obs = Rma_obs.Obs
+
 type t = {
   tree : Avl.t;
   mutable peak_nodes : int;
@@ -8,7 +10,14 @@ type t = {
 
 let create () = { tree = Avl.create (); peak_nodes = 0; inserts = 0; race_checks = 0 }
 
-let insert t access =
+let obs_insert_seconds =
+  Obs.histogram ~help:"Wall time of one Legacy_store.insert" "store.legacy.insert_seconds"
+
+let obs_race_checks =
+  Obs.histogram ~unit_:"count" ~help:"Pairwise conflict checks per insert (search-path length)"
+    "store.legacy.race_checks_per_insert"
+
+let insert_uninstrumented t access =
   t.inserts <- t.inserts + 1;
   (* First traversal: conflict check restricted to the BST search path —
      the lower-bound-only approximation the paper identifies as the source
@@ -31,6 +40,17 @@ let insert t access =
       Avl.insert t.tree access;
       if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
       Store_intf.Inserted
+
+let insert t access =
+  if not (Obs.is_enabled ()) then insert_uninstrumented t access
+  else begin
+    let t0 = Rma_util.Timer.now () in
+    let checks0 = t.race_checks in
+    let outcome = insert_uninstrumented t access in
+    Obs.observe obs_insert_seconds (Rma_util.Timer.now () -. t0);
+    Obs.observe_int obs_race_checks (t.race_checks - checks0);
+    outcome
+  end
 
 let size t = Avl.size t.tree
 

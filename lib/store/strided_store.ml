@@ -131,7 +131,16 @@ let detect_race t (access : Access.t) candidates =
       else None)
     candidates
 
-let insert t access =
+module Obs = Rma_obs.Obs
+
+let obs_insert_seconds =
+  Obs.histogram ~help:"Wall time of one Strided_store.insert" "store.strided.insert_seconds"
+
+let obs_merges =
+  Obs.histogram ~unit_:"count" ~help:"Region extensions/merges per insert (section 6(3))"
+    "store.strided.merges_per_insert"
+
+let insert_uninstrumented t access =
   t.inserts <- t.inserts + 1;
   let iv = access.Access.interval in
   let wide = Interval.make ~lo:(Interval.lo iv - 1) ~hi:(Interval.hi iv + 1) in
@@ -201,6 +210,17 @@ let insert t access =
             note_peak t;
             Store_intf.Inserted
           end)
+
+let insert t access =
+  if not (Obs.is_enabled ()) then insert_uninstrumented t access
+  else begin
+    let t0 = Rma_util.Timer.now () in
+    let m0 = t.merges_performed in
+    let outcome = insert_uninstrumented t access in
+    Obs.observe obs_insert_seconds (Rma_util.Timer.now () -. t0);
+    Obs.observe_int obs_merges (t.merges_performed - m0);
+    outcome
+  end
 
 let size t = Tree.size t.tree
 

@@ -14,6 +14,8 @@ let record acc f =
   acc.total <- acc.total +. dt;
   result
 
+let add acc dt = acc.total <- acc.total +. dt
+
 let elapsed acc = acc.total
 
 let reset acc = acc.total <- 0.0

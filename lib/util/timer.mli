@@ -16,6 +16,11 @@ val accumulator : unit -> accumulator
 val record : accumulator -> (unit -> 'a) -> 'a
 (** Runs the thunk and adds its elapsed time to the accumulator. *)
 
+val add : accumulator -> float -> unit
+(** Adds an externally-measured duration; lets other timing layers
+    (e.g. [Rma_obs] span recording) feed the same accumulators the
+    harness reads, so the two can never disagree. *)
+
 val elapsed : accumulator -> float
 (** Total accumulated seconds. *)
 

@@ -19,4 +19,5 @@ let () =
       ("oracle", Test_oracle.suite);
       ("graph500", Test_graph500.suite);
       ("memory", Test_memory.suite);
+      ("obs", Test_obs.suite);
     ]

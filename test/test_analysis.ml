@@ -346,3 +346,76 @@ let test_toolbox_registry () =
 
 let suite =
   suite @ [ Alcotest.test_case "toolbox registry" `Quick test_toolbox_registry ]
+
+(* Events fed straight to the observer, bypassing the runtime, so the
+   schedule is exactly the pathological one. *)
+let raw_put ~seq ~line =
+  let open Rma_access in
+  Event.Access
+    {
+      Event.space = 1;
+      access =
+        Access.make
+          ~interval:(Interval.make ~lo:0 ~hi:7)
+          ~kind:Access_kind.Rma_write ~issuer:0 ~seq
+          ~debug:(Debug_info.make ~file:"closers.c" ~line ~operation:"MPI_Put");
+      win = Some 0;
+      relevant = true;
+      on_stack = false;
+      sim_time = float_of_int seq;
+    }
+
+let test_epoch_closers_count_distinct_ranks () =
+  (* The §5.1 protocol clears a window's trees only once EVERY rank has
+     closed its epoch. The regression: counting close events instead of
+     distinct ranks lets rank 0, closing twice while rank 1's exposure
+     epoch is still open, reach nprocs on its own and wipe rank 1's tree
+     — hiding the race between the two overlapping puts it received. *)
+  let tool = contribution ~nprocs:2 () in
+  let feed e = ignore (tool.Tool.observer e) in
+  feed (Event.Epoch_opened { win = 0; rank = 1; sim_time = 0.0 });
+  feed (Event.Epoch_opened { win = 0; rank = 0; sim_time = 0.0 });
+  feed (raw_put ~seq:1 ~line:10);
+  feed (Event.Epoch_closed { win = 0; rank = 0; sim_time = 1.0 });
+  feed (Event.Epoch_opened { win = 0; rank = 0; sim_time = 2.0 });
+  feed (Event.Epoch_closed { win = 0; rank = 0; sim_time = 3.0 });
+  (* Rank 1 never closed: the first put must still be in its tree. *)
+  feed (raw_put ~seq:2 ~line:20);
+  Alcotest.(check bool) "put/put race survives rank 0's double close" true
+    (tool.Tool.race_count () >= 1)
+
+let test_epoch_closers_still_clear_when_all_close () =
+  (* The fix must not break the actual clear: after both ranks close,
+     re-running the conflicting put races against nothing. *)
+  let tool = contribution ~nprocs:2 () in
+  let feed e = ignore (tool.Tool.observer e) in
+  feed (Event.Epoch_opened { win = 0; rank = 1; sim_time = 0.0 });
+  feed (raw_put ~seq:1 ~line:10);
+  feed (Event.Epoch_closed { win = 0; rank = 1; sim_time = 1.0 });
+  feed (Event.Epoch_closed { win = 0; rank = 0; sim_time = 1.0 });
+  feed (Event.Epoch_opened { win = 0; rank = 1; sim_time = 2.0 });
+  feed (raw_put ~seq:2 ~line:20);
+  Alcotest.(check int) "trees cleared once every rank closed" 0 (tool.Tool.race_count ())
+
+let test_max_reports_cap () =
+  let tool =
+    Rma_analyzer.create ~nprocs:2 ~mode:Tool.Collect ~max_reports:2 Rma_analyzer.Contribution
+  in
+  let feed e = ignore (tool.Tool.observer e) in
+  feed (Event.Epoch_opened { win = 0; rank = 1; sim_time = 0.0 });
+  for seq = 1 to 6 do
+    feed (raw_put ~seq ~line:(100 + seq))
+  done;
+  Alcotest.(check int) "cap bounds stored reports" 2 (Tool.stored_races tool);
+  Alcotest.(check bool) "every race still counted" true (tool.Tool.race_count () >= 5);
+  Alcotest.(check bool) "truncation visible" true (Tool.dropped_races tool >= 3)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "epoch closers are distinct ranks (premature-clear regression)" `Quick
+        test_epoch_closers_count_distinct_ranks;
+      Alcotest.test_case "window still clears once all ranks close" `Quick
+        test_epoch_closers_still_clear_when_all_close;
+      Alcotest.test_case "max_reports caps stored, not counted" `Quick test_max_reports_cap;
+    ]
