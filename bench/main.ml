@@ -8,6 +8,10 @@
      dune exec bench/main.exe -- --scale 1.0 fig11
                                               -- paper-size MiniVite input
      dune exec bench/main.exe -- --ranks 8,16 table4
+     dune exec bench/main.exe -- --json BENCH.json
+                                              -- perf-trajectory record
+     dune exec bench/main.exe -- --compare old.json new.json
+     dune exec bench/main.exe -- --compare old.json new.json --threshold 0.25
 
    Scale notes: MiniVite inputs default to one tenth of the paper's
    640k/1,280k vertices so the full sweep finishes in minutes; rank
@@ -20,58 +24,127 @@ open Rma_report
 
 let section title = Printf.printf "\n=== %s ===\n\n%!" title
 
+(* Every runner returns its flat metric bag for the perf-trajectory
+   record; wall time is added by the dispatch span below. Simulated
+   times and node counts go in as-is; only keys present in both records
+   are compared, so scale/rank changes degrade to fewer comparisons,
+   not false alarms. *)
+
+let metric_key parts = String.concat "_" parts
+
 let run_table2 () =
   section "Table 2";
-  let _, rendered = Experiments.table2 () in
-  print_string rendered
+  let rows, rendered = Experiments.table2 () in
+  print_string rendered;
+  List.concat_map
+    (fun (r : Experiments.verdict_row) ->
+      let b v = if v then 1.0 else 0.0 in
+      [
+        (metric_key [ r.code; "legacy" ], b r.legacy);
+        (metric_key [ r.code; "must" ], b r.must);
+        (metric_key [ r.code; "contribution" ], b r.contribution);
+      ])
+    rows
 
 let run_table3 () =
   section "Table 3";
-  let _, rendered = Experiments.table3 () in
+  let rows, rendered = Experiments.table3 () in
   print_string rendered;
   print_endline
     "Note: the paper prints TP=41/TN=107 for RMA-Analyzer next to FP=6/FN=0, which cannot all\n\
      hold over 47 racy + 107 safe codes; this harness reports the self-consistent variant\n\
      (six order-sensitivity FPs land on safe codes, cf. Table 2's \
-     ll_load_get_inwindow_origin_safe)."
+     ll_load_get_inwindow_origin_safe).";
+  List.concat_map
+    (fun (r : Experiments.confusion_row) ->
+      let i v = float_of_int v in
+      [
+        (metric_key [ r.tool; "fp" ], i r.fp); (metric_key [ r.tool; "fn" ], i r.fn);
+        (metric_key [ r.tool; "tp" ], i r.tp); (metric_key [ r.tool; "tn" ], i r.tn);
+        (metric_key [ r.tool; "dropped" ], i r.dropped);
+      ])
+    rows
 
 let run_table4 ~scale ~ranks () =
   section "Table 4";
-  let _, rendered = Experiments.table4 ~scale ?ranks () in
-  print_string rendered
+  let rows, rendered = Experiments.table4 ~scale ?ranks () in
+  print_string rendered;
+  List.concat_map
+    (fun (r : Experiments.table4_row) ->
+      let pre = Printf.sprintf "r%d_v%d" r.ranks r.vertices in
+      let i v = float_of_int v in
+      [
+        (metric_key [ pre; "legacy_nodes" ], i r.legacy_nodes);
+        (metric_key [ pre; "contribution_nodes" ], i r.contribution_nodes);
+        (metric_key [ pre; "legacy_peak_nodes" ], i r.legacy_peak);
+        (metric_key [ pre; "contribution_peak_nodes" ], i r.contribution_peak);
+        (metric_key [ pre; "reduction" ], r.reduction);
+      ])
+    rows
 
 let run_fig5 () =
   section "Figure 5";
-  print_string (Experiments.fig5 ())
+  print_string (Experiments.fig5 ());
+  []
 
 let run_fig8 () =
   section "Figure 8";
-  let _, rendered = Experiments.fig8 () in
-  print_string rendered
+  let r, rendered = Experiments.fig8 () in
+  print_string rendered;
+  [
+    ("legacy_nodes", float_of_int r.Experiments.legacy_nodes);
+    ("contribution_nodes", float_of_int r.Experiments.contribution_nodes);
+  ]
 
 let run_fig9 () =
   section "Figure 9";
-  print_string (Experiments.fig9 ())
+  print_string (Experiments.fig9 ());
+  []
+
+let perf_metrics rows =
+  List.concat_map
+    (fun (r : Experiments.perf_row) ->
+      let pre = Printf.sprintf "%s_r%d" r.tool r.nprocs in
+      let i v = float_of_int v in
+      [
+        (metric_key [ pre; "epoch_time_s" ], r.epoch_time);
+        (metric_key [ pre; "exec_time_s" ], r.exec_time);
+        (metric_key [ pre; "nodes" ], i r.nodes);
+        (metric_key [ pre; "peak_nodes" ], i r.nodes_peak);
+        (metric_key [ pre; "races" ], i r.races);
+        (metric_key [ pre; "dropped" ], i r.dropped);
+      ])
+    rows
 
 let run_fig10 () =
   section "Figure 10";
-  let _, rendered = Experiments.fig10 () in
-  print_string rendered
+  let rows, rendered = Experiments.fig10 () in
+  print_string rendered;
+  perf_metrics rows
 
 let run_fig11 ~scale ~ranks () =
   section "Figure 11";
-  let _, rendered = Experiments.fig11 ~scale ?ranks () in
-  print_string rendered
+  let rows, rendered = Experiments.fig11 ~scale ?ranks () in
+  print_string rendered;
+  perf_metrics rows
 
 let run_fig12 ~scale ~ranks () =
   section "Figure 12";
-  let _, rendered = Experiments.fig12 ~scale ?ranks () in
-  print_string rendered
+  let rows, rendered = Experiments.fig12 ~scale ?ranks () in
+  print_string rendered;
+  perf_metrics rows
 
 let run_ablation () =
   section "Ablations";
-  let _, rendered = Experiments.ablation () in
-  print_string rendered
+  let rows, rendered = Experiments.ablation () in
+  print_string rendered;
+  List.concat_map
+    (fun (r : Experiments.ablation_row) ->
+      [
+        (metric_key [ r.variant; "nodes" ], float_of_int r.nodes);
+        (metric_key [ r.variant; "races" ], float_of_int r.races);
+      ])
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, measuring the       *)
@@ -154,17 +227,34 @@ let run_micro () =
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name ols_result acc -> (name, ols_result) :: acc) results [] in
-  List.iter
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.filter_map
     (fun (name, ols_result) ->
       let estimate =
         match Analyze.OLS.estimates ols_result with Some (e :: _) -> e | _ -> Float.nan
       in
-      Printf.printf "%-62s %12.1f ns/run\n" name estimate)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+      Printf.printf "%-62s %12.1f ns/run\n" name estimate;
+      if Float.is_finite estimate then Some (name ^ "_ns", estimate) else None)
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
+
+let compare_mode ~threshold old_path new_path =
+  let load path =
+    match Perf_trajectory.load ~path with
+    | Ok r -> r
+    | Error msg ->
+        Printf.eprintf "bench: cannot load %s: %s\n" path msg;
+        exit 2
+  in
+  let old_record = load old_path and new_record = load new_path in
+  let body, has_regressions =
+    Perf_trajectory.render_comparison ?threshold ~old_record ~new_record ()
+  in
+  print_string body;
+  exit (if has_regressions then 1 else 0)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -172,6 +262,10 @@ let () =
   let ranks = ref None in
   let obs_out = ref None in
   let obs_summary = ref false in
+  let json_out = ref None in
+  let generator = ref "bench" in
+  let threshold = ref None in
+  let compare_paths = ref None in
   let selected = ref [] in
   let rec parse = function
     | [] -> ()
@@ -187,14 +281,30 @@ let () =
     | "--obs-summary" :: rest ->
         obs_summary := true;
         parse rest
+    | "--json" :: v :: rest ->
+        json_out := Some v;
+        parse rest
+    | "--generator" :: v :: rest ->
+        generator := v;
+        parse rest
+    | "--threshold" :: v :: rest ->
+        threshold := Some (float_of_string v);
+        parse rest
+    | "--compare" :: old_path :: new_path :: rest ->
+        compare_paths := Some (old_path, new_path);
+        parse rest
     | arg :: rest ->
         selected := arg :: !selected;
         parse rest
   in
   parse args;
+  (match !compare_paths with
+  | Some (old_path, new_path) -> compare_mode ~threshold:!threshold old_path new_path
+  | None -> ());
   let selected = if !selected = [] then [ "all" ] else List.rev !selected in
   let scale = !scale and ranks = !ranks in
-  if !obs_out <> None || !obs_summary then Rma_obs.Obs.enable ();
+  (* --json implies Obs: the record snapshots the counter registry. *)
+  if !obs_out <> None || !obs_summary || !json_out <> None then Rma_obs.Obs.enable ();
   let dispatch = function
     | "table2" -> run_table2 ()
     | "table3" -> run_table3 ()
@@ -207,18 +317,7 @@ let () =
     | "fig12" -> run_fig12 ~scale ~ranks ()
     | "ablation" -> run_ablation ()
     | "micro" -> run_micro ()
-    | "all" ->
-        run_table2 ();
-        run_table3 ();
-        run_table4 ~scale ~ranks ();
-        run_fig5 ();
-        run_fig8 ();
-        run_fig9 ();
-        run_fig10 ();
-        run_fig11 ~scale ~ranks ();
-        run_fig12 ~scale ~ranks ();
-        run_ablation ();
-        run_micro ()
+    | "all" -> []
     | other ->
         Printf.eprintf
           "unknown experiment %S (expected table2 table3 table4 fig5 fig8 fig9 fig10 fig11 fig12 \
@@ -226,13 +325,27 @@ let () =
           other;
         exit 2
   in
-  (* Each experiment becomes a top-level phase span so a trace of the
-     full sweep shows where the wall time went. *)
-  let dispatch name =
-    let (), _ = Rma_obs.Obs.time_span ~cat:"phase" name (fun () -> dispatch name) in
-    ()
+  let all_names =
+    [ "table2"; "table3"; "table4"; "fig5"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
+      "ablation"; "micro" ]
   in
-  List.iter dispatch selected;
+  let selected = List.concat_map (function "all" -> all_names | n -> [ n ]) selected in
+  (* Each experiment becomes a top-level phase span so a trace of the
+     full sweep shows where the wall time went; the same span reading is
+     the sample's wall_seconds, so the Chrome trace and the JSON record
+     cannot disagree. *)
+  let samples =
+    List.map
+      (fun name ->
+        let metrics, wall = Rma_obs.Obs.time_span ~cat:"phase" name (fun () -> dispatch name) in
+        { Perf_trajectory.name; wall_seconds = wall; metrics })
+      selected
+  in
+  (match !json_out with
+  | Some path ->
+      Perf_trajectory.write ~path (Perf_trajectory.make ~generator:!generator ~scale samples);
+      Printf.eprintf "bench: wrote perf-trajectory record to %s\n%!" path
+  | None -> ignore samples);
   (match !obs_out with
   | Some path ->
       Rma_obs.Chrome_trace.write ~path ();

@@ -6,21 +6,28 @@
      rma_race minivite --ranks 32 --vertices 64000 --tool must --inject
      rma_race cfd --ranks 12 --iterations 50 --tool legacy
      rma_race experiment table3
+     rma_race minivite --inject --races-json races.json --races-sarif races.sarif
+     rma_race explain 1 --from races.json
 *)
 
 open Cmdliner
 open Rma_analysis
 
-(* --- observability flags, shared by every subcommand --- *)
+(* --- diagnostics flags (observability + race exports), shared by
+   every subcommand --- *)
 
-type obs_opts = {
+type diag_opts = {
   obs_out : string option;
   obs_summary : bool;
   obs_prometheus : string option;
   obs_sample : int;
+  races_json : string option;
+  races_sarif : string option;
 }
 
-let obs_term =
+let wants_races opts = opts.races_json <> None || opts.races_sarif <> None
+
+let diag_term =
   let out =
     Arg.(
       value
@@ -49,18 +56,44 @@ let obs_term =
       & info [ "obs-sample" ] ~docv:"N"
           ~doc:"Record one span out of every $(docv) (1 keeps all; metrics are never sampled).")
   in
-  let mk obs_out obs_summary obs_prometheus obs_sample =
-    { obs_out; obs_summary; obs_prometheus; obs_sample }
+  let races_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "races-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the race reports of the run as schema-versioned JSON to $(docv) (full \
+             provenance: epoch, vector clock, flight-recorder history of both sides; readable \
+             back with $(b,rma_race explain)). Enables the flight recorder.")
   in
-  Term.(const mk $ out $ summary $ prometheus $ sample)
+  let races_sarif =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "races-sarif" ] ~docv:"FILE"
+          ~doc:
+            "Write the race reports of the run as SARIF 2.1.0 to $(docv), one result per race \
+             with every contributing source location. Enables the flight recorder.")
+  in
+  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif =
+    { obs_out; obs_summary; obs_prometheus; obs_sample; races_json; races_sarif }
+  in
+  Term.(const mk $ out $ summary $ prometheus $ sample $ races_json $ races_sarif)
 
-let with_obs opts f =
+let generator = "rma_race"
+
+(* [f] returns the run's race reports; exports happen afterwards, the
+   obs ones even if [f] raises. The flight recorder must be switched on
+   before [f] creates its tool (stores snapshot the flag at creation),
+   which is why enabling lives here and not in the exporter. *)
+let with_diag opts f =
   let active = opts.obs_out <> None || opts.obs_summary || opts.obs_prometheus <> None in
   if active then begin
     Rma_obs.Obs.enable ();
     Rma_obs.Obs.set_sampling ~keep_one_in:(max 1 opts.obs_sample)
   end;
-  let export () =
+  if wants_races opts then Rma_store.Flight_recorder.enable ();
+  let obs_export () =
     if active then begin
       let write_file what write path =
         try
@@ -73,7 +106,25 @@ let with_obs opts f =
       if opts.obs_summary then print_string (Rma_obs.Summary.to_string ())
     end
   in
-  Fun.protect ~finally:export f
+  let reports = Fun.protect ~finally:obs_export f in
+  (* Ids are per tool run; a subcommand aggregating several runs (suite)
+     would export duplicates, so renumber to the export's own 1..n —
+     identity for single-run subcommands, whose stored reports are
+     already sequential. *)
+  let reports =
+    List.mapi
+      (fun i r ->
+        { r with Report.provenance = { r.Report.provenance with Report.id = i + 1 } })
+      reports
+  in
+  let write_races what write path =
+    try
+      write ~path ~generator reports;
+      Printf.eprintf "races: wrote %s (%d reports) to %s\n%!" what (List.length reports) path
+    with Sys_error msg -> Printf.eprintf "races: cannot write %s: %s\n%!" what msg
+  in
+  Option.iter (write_races "JSON" Rma_report.Race_export.write_json) opts.races_json;
+  Option.iter (write_races "SARIF" Rma_report.Race_export.write_sarif) opts.races_sarif
 
 let tool_enum = List.map (fun k -> (Toolbox.slug k, k)) Toolbox.all
 
@@ -111,19 +162,31 @@ let print_tool_outcome tool =
 
 let suite_cmd =
   let run obs tool_choice =
-    with_obs obs @@ fun () ->
+    with_diag obs @@ fun () ->
     let tool = make_tool tool_choice ~nprocs:3 ~config in
     match tool_choice with
-    | Toolbox.Baseline -> print_endline "the baseline detects nothing; pick a real tool"
+    | Toolbox.Baseline ->
+        print_endline "the baseline detects nothing; pick a real tool";
+        []
     | _ ->
         let c = Rma_microbench.Runner.score ~tool Rma_microbench.Scenario.all in
-        Printf.printf "suite: %d codes — FP=%d FN=%d TP=%d TN=%d\n"
+        Printf.printf "suite: %d codes — FP=%d FN=%d TP=%d TN=%d%s\n"
           Rma_microbench.Scenario.count_total c.Rma_microbench.Runner.fp
           c.Rma_microbench.Runner.fn c.Rma_microbench.Runner.tp c.Rma_microbench.Runner.tn
+          (if c.Rma_microbench.Runner.dropped > 0 then
+             Printf.sprintf " (%d reports dropped)" c.Rma_microbench.Runner.dropped
+           else "");
+        (* [score] resets the tool per scenario, so exporting the suite's
+           races means replaying it collecting each verdict's reports. *)
+        if wants_races obs then
+          List.concat_map
+            (fun sc -> (Rma_microbench.Runner.run ~tool sc).Rma_microbench.Runner.reports)
+            Rma_microbench.Scenario.all
+        else []
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Score a detector on the 154-code microbenchmark suite (Table 3).")
-    Term.(const run $ obs_term $ tool_arg)
+    Term.(const run $ diag_term $ tool_arg)
 
 (* --- code --- *)
 
@@ -132,7 +195,7 @@ let code_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CODE" ~doc:"Microbenchmark name.")
   in
   let run obs tool_choice name =
-    with_obs obs @@ fun () ->
+    with_diag obs @@ fun () ->
     match Rma_microbench.Scenario.find name with
     | None ->
         Printf.eprintf "unknown code %S\n" name;
@@ -145,11 +208,12 @@ let code_cmd =
           tool.Tool.name
           (if v.Rma_microbench.Runner.flagged then "error detected" else "no error")
           (Rma_microbench.Runner.outcome_name (Rma_microbench.Runner.classify v));
-        List.iter (fun r -> print_endline ("  " ^ Report.to_message r)) v.Rma_microbench.Runner.reports
+        List.iter (fun r -> print_endline ("  " ^ Report.to_message r)) v.Rma_microbench.Runner.reports;
+        v.Rma_microbench.Runner.reports
   in
   Cmd.v
     (Cmd.info "code" ~doc:"Run one microbenchmark code under a detector.")
-    Term.(const run $ obs_term $ tool_arg $ name_arg)
+    Term.(const run $ diag_term $ tool_arg $ name_arg)
 
 (* --- minivite --- *)
 
@@ -161,7 +225,7 @@ let minivite_cmd =
     Arg.(value & flag & info [ "inject" ] ~doc:"Duplicate one MPI_Put (the Figure 9 fault).")
   in
   let run obs tool_choice nprocs seed vertices inject =
-    with_obs obs @@ fun () ->
+    with_diag obs @@ fun () ->
     let params =
       {
         Minivite.Louvain.default_params with
@@ -180,11 +244,12 @@ let minivite_cmd =
     Printf.printf "simulated time: %.1f ms; wall: %.2f s\n"
       (result.Mpi_sim.Runtime.makespan *. 1000.0)
       result.Mpi_sim.Runtime.wall_seconds;
-    print_tool_outcome tool
+    print_tool_outcome tool;
+    tool.Tool.races ()
   in
   Cmd.v
     (Cmd.info "minivite" ~doc:"Run the MiniVite-like Louvain phase under a detector.")
-    Term.(const run $ obs_term $ tool_arg $ ranks_arg 32 $ seed_arg $ vertices_arg $ inject_arg)
+    Term.(const run $ diag_term $ tool_arg $ ranks_arg 32 $ seed_arg $ vertices_arg $ inject_arg)
 
 (* --- cfd --- *)
 
@@ -196,7 +261,7 @@ let cfd_cmd =
     Arg.(value & opt int 432 & info [ "cells" ] ~docv:"C" ~doc:"Cells per halo chunk.")
   in
   let run obs tool_choice nprocs seed iterations cells =
-    with_obs obs @@ fun () ->
+    with_diag obs @@ fun () ->
     let params =
       { Cfd_proxy.Halo.default_params with Cfd_proxy.Halo.iterations; cells_per_chunk = cells }
     in
@@ -208,11 +273,12 @@ let cfd_cmd =
     Printf.printf "epoch time (mean per rank): %.3f s; wall: %.2f s\n"
       (Array.fold_left ( +. ) 0.0 result.Mpi_sim.Runtime.epoch_times /. float_of_int nprocs)
       result.Mpi_sim.Runtime.wall_seconds;
-    print_tool_outcome tool
+    print_tool_outcome tool;
+    tool.Tool.races ()
   in
   Cmd.v
     (Cmd.info "cfd" ~doc:"Run the CFD-Proxy-like halo exchange under a detector.")
-    Term.(const run $ obs_term $ tool_arg $ ranks_arg 12 $ seed_arg $ iterations_arg $ cells_arg)
+    Term.(const run $ diag_term $ tool_arg $ ranks_arg 12 $ seed_arg $ iterations_arg $ cells_arg)
 
 (* --- experiment --- *)
 
@@ -228,9 +294,9 @@ let experiment_cmd =
     Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"MiniVite input scale factor.")
   in
   let run obs which scale =
-    with_obs obs @@ fun () ->
+    with_diag obs @@ fun () ->
     let open Rma_report in
-    match which with
+    (match which with
     | "table2" -> print_string (snd (Experiments.table2 ()))
     | "table3" -> print_string (snd (Experiments.table3 ()))
     | "table4" -> print_string (snd (Experiments.table4 ~scale ()))
@@ -243,11 +309,12 @@ let experiment_cmd =
     | "ablation" -> print_string (snd (Experiments.ablation ()))
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
-        exit 2
+        exit 2);
+    []
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(const run $ obs_term $ which_arg $ scale_arg)
+    Term.(const run $ diag_term $ which_arg $ scale_arg)
 
 (* --- bfs --- *)
 
@@ -256,7 +323,7 @@ let bfs_cmd =
     Arg.(value & opt int 20_000 & info [ "vertices" ] ~docv:"V" ~doc:"Graph size.")
   in
   let run obs tool_choice nprocs seed vertices =
-    with_obs obs @@ fun () ->
+    with_diag obs @@ fun () ->
     let params =
       {
         Graph500.Bfs.default_params with
@@ -274,11 +341,12 @@ let bfs_cmd =
     Printf.printf "simulated time: %.1f ms; wall: %.2f s\n"
       (result.Mpi_sim.Runtime.makespan *. 1000.0)
       result.Mpi_sim.Runtime.wall_seconds;
-    print_tool_outcome tool
+    print_tool_outcome tool;
+    tool.Tool.races ()
   in
   Cmd.v
     (Cmd.info "bfs" ~doc:"Run the Graph500-style fence-synchronised BFS under a detector.")
-    Term.(const run $ obs_term $ tool_arg $ ranks_arg 16 $ seed_arg $ vertices_arg)
+    Term.(const run $ diag_term $ tool_arg $ ranks_arg 16 $ seed_arg $ vertices_arg)
 
 (* --- export --- *)
 
@@ -297,16 +365,52 @@ let export_cmd =
     Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"MiniVite input scale factor.")
   in
   let run obs dir experiments scale =
-    with_obs obs @@ fun () ->
+    with_diag obs @@ fun () ->
     Rma_report.Experiments.export ~dir ~scale experiments;
-    Printf.printf "exported %s to %s/
-" (String.concat ", " experiments) dir
+    Printf.printf "exported %s to %s/\n" (String.concat ", " experiments) dir;
+    []
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export experiment data as CSV (and the suite as C sources).")
-    Term.(const run $ obs_term $ dir_arg $ experiments_arg $ scale_arg)
+    Term.(const run $ diag_term $ dir_arg $ experiments_arg $ scale_arg)
+
+(* --- explain --- *)
+
+let explain_cmd =
+  let id_arg =
+    Arg.(
+      value & pos 0 int 1
+      & info [] ~docv:"RACE-ID"
+          ~doc:"Race id as printed in the export (JSON $(b,id) field / SARIF $(b,raceId)).")
+  in
+  let from_arg =
+    Arg.(
+      value & opt string "races.json"
+      & info [ "from"; "f" ] ~docv:"FILE"
+          ~doc:"JSON race export to read (written by $(b,--races-json)).")
+  in
+  let run id path =
+    match Rma_report.Race_export.load_json ~path with
+    | Error msg ->
+        Printf.eprintf "explain: cannot read %s: %s\n" path msg;
+        exit 2
+    | Ok reports -> (
+        match Rma_report.Race_export.find_race ~id reports with
+        | None ->
+            Printf.eprintf "explain: no race with id %d in %s (%d reports; ids run from 1)\n" id
+              path (List.length reports);
+            exit 2
+        | Some r -> print_string (Rma_report.Race_export.explain r))
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Render one exported race as a full timeline: the epoch it fired in, the Figure 3 \
+          matrix cell, both surviving accesses and the flight-recorder history of every source \
+          access merged into each side.")
+    Term.(const run $ id_arg $ from_arg)
 
 let () =
   let doc = "Data race detection for MPI-RMA programs (SC-W 2023 reproduction)" in
   let info = Cmd.info "rma_race" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ suite_cmd; code_cmd; minivite_cmd; cfd_cmd; bfs_cmd; experiment_cmd; export_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ suite_cmd; code_cmd; minivite_cmd; cfd_cmd; bfs_cmd; experiment_cmd; export_cmd; explain_cmd ]))

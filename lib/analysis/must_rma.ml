@@ -39,12 +39,19 @@ let access_of_cell (c : Shadow.cell) =
     ~interval:(Interval.make ~lo:c.Shadow.lo ~hi:c.Shadow.hi)
     ~kind:c.Shadow.kind ~issuer:c.Shadow.issuer ~seq:0 ~debug:c.Shadow.debug
 
-let record_race st ~space ~win ~(race : Shadow.race) ~sim_time =
+let record_race st ~space ~win ~(race : Shadow.race) ~clock ~sim_time =
+  let provenance =
+    {
+      Report.empty_provenance with
+      Report.id = st.race_count + 1;
+      vclock = Some (Vclock.components clock);
+    }
+  in
   let report =
     Report.make ~tool:name ~space ~win
       ~existing:(access_of_cell race.Shadow.prior)
       ~incoming:(access_of_cell race.Shadow.current)
-      ~sim_time
+      ~sim_time ~provenance ()
   in
   st.race_count <- st.race_count + 1;
   if st.race_count <= st.max_reports then st.races <- report :: st.races;
@@ -99,12 +106,12 @@ let on_access st (a : Event.access_event) =
       Shadow.record_and_check st.shadows.(a.Event.space) ~interval ~thread ~clock ~kind ~issuer
         ~debug:access.Access.debug
     in
-    let race =
+    let race, clock_used =
       if local then begin
         (* TSan ticks the thread epoch on every access, keeping
            same-thread accesses ordered. *)
         st.clocks.(issuer) <- Vclock.tick st.clocks.(issuer) issuer;
-        check ~thread:issuer ~clock:st.clocks.(issuer)
+        (check ~thread:issuer ~clock:st.clocks.(issuer), st.clocks.(issuer))
       end
       else begin
         (* One-sided operation: fresh virtual thread snapshotting the
@@ -122,11 +129,14 @@ let on_access st (a : Event.access_event) =
             let existing = Option.value (Hashtbl.find_opt st.epoch_vids key) ~default:[] in
             Hashtbl.replace st.epoch_vids key (vid :: existing)
         | None -> ());
-        check ~thread:vid ~clock:(Vclock.set st.clocks.(issuer) vid 1)
+        let clock = Vclock.set st.clocks.(issuer) vid 1 in
+        (check ~thread:vid ~clock, clock)
       end
     in
     (match race with
-    | Some r -> record_race st ~space:a.Event.space ~win:a.Event.win ~race:r ~sim_time:a.Event.sim_time
+    | Some r ->
+        record_race st ~space:a.Event.space ~win:a.Event.win ~race:r ~clock:clock_used
+          ~sim_time:a.Event.sim_time
     | None -> ());
     (* Clock piggyback on the internal notification for remote accesses. *)
     if (not local) && a.Event.space <> issuer then

@@ -1,4 +1,16 @@
 open Rma_access
+module Flight_recorder = Rma_store.Flight_recorder
+
+type provenance = {
+  id : int;
+  epoch : int option;
+  vclock : (int * int) list option;
+  existing_history : Flight_recorder.origin list;
+  incoming_history : Flight_recorder.origin list;
+}
+
+let empty_provenance =
+  { id = 0; epoch = None; vclock = None; existing_history = []; incoming_history = [] }
 
 type t = {
   tool : string;
@@ -7,12 +19,13 @@ type t = {
   existing : Access.t;
   incoming : Access.t;
   sim_time : float;
+  provenance : provenance;
 }
 
 exception Race_abort of t
 
-let make ~tool ~space ~win ~existing ~incoming ~sim_time =
-  { tool; space; win; existing; incoming; sim_time }
+let make ~tool ~space ~win ~existing ~incoming ~sim_time ?(provenance = empty_provenance) () =
+  { tool; space; win; existing; incoming; sim_time; provenance }
 
 let to_message t =
   Printf.sprintf
@@ -31,3 +44,27 @@ let pp fmt t =
 let involves_operation t operation =
   String.equal t.existing.Access.debug.Debug_info.operation operation
   || String.equal t.incoming.Access.debug.Debug_info.operation operation
+
+let matrix_cell t =
+  Printf.sprintf "%s x %s (%s)"
+    (Access_kind.to_string t.existing.Access.kind)
+    (Access_kind.to_string t.incoming.Access.kind)
+    (if t.existing.Access.issuer = t.incoming.Access.issuer then "same process"
+     else "different processes")
+
+let contributing_debugs t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let add (d : Debug_info.t) =
+    let key = (d.Debug_info.file, d.Debug_info.line, d.Debug_info.operation) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      out := d :: !out
+    end
+  in
+  add t.existing.Access.debug;
+  add t.incoming.Access.debug;
+  List.iter
+    (fun (o : Flight_recorder.origin) -> add o.Flight_recorder.access.Access.debug)
+    (t.provenance.existing_history @ t.provenance.incoming_history);
+  List.rev !out

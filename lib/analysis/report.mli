@@ -1,7 +1,29 @@
 open Rma_access
 
 (** Race reports, rendered in the style the paper shows for the MiniVite
-    injection (Figure 9b). *)
+    injection (Figure 9b), extended with machine-readable provenance for
+    the JSON/SARIF exporters and the [explain] subcommand. *)
+
+type provenance = {
+  id : int;
+      (** Stable 1-based identifier within the producing tool's run —
+          the race id the CLI's [explain] subcommand takes. 0 = unset. *)
+  epoch : int option;
+      (** Store epoch (per (rank, window) tree) active at detection,
+          when the flight recorder tracked it. *)
+  vclock : (int * int) list option;
+      (** Non-zero vector-clock components observed at detection, for
+          the happens-before based tools. *)
+  existing_history : Rma_store.Flight_recorder.origin list;
+      (** Original (pre-fragmentation) accesses overlapping the existing
+          side's interval — the source accesses that were fragmented or
+          merged into the node the race fired against. Empty without the
+          flight recorder. *)
+  incoming_history : Rma_store.Flight_recorder.origin list;
+      (** Same for the incoming side's byte range. *)
+}
+
+val empty_provenance : provenance
 
 type t = {
   tool : string;
@@ -10,6 +32,7 @@ type t = {
   existing : Access.t;
   incoming : Access.t;
   sim_time : float;
+  provenance : provenance;
 }
 
 exception Race_abort of t
@@ -23,6 +46,8 @@ val make :
   existing:Access.t ->
   incoming:Access.t ->
   sim_time:float ->
+  ?provenance:provenance ->
+  unit ->
   t
 
 val to_message : t -> string
@@ -35,3 +60,14 @@ val pp : Format.formatter -> t -> unit
 val involves_operation : t -> string -> bool
 (** Does either side's debug info carry this operation name? Convenience
     for tests. *)
+
+val matrix_cell : t -> string
+(** The Figure 3 conflict-matrix cell that fired, e.g.
+    ["RMA_WRITE x LOCAL_READ (same process)"]. *)
+
+val contributing_debugs : t -> Debug_info.t list
+(** Every distinct source location implicated in the race: the two
+    surviving sides plus all flight-recorder history origins, in first
+    appearance order. This is what the SARIF export lists as related
+    locations — with the recorder on, it names source accesses whose
+    debug info merging had discarded from the tree. *)

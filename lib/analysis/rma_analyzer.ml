@@ -33,6 +33,14 @@ let store_clear = function
   | D s -> Disjoint_store.clear s
   | S s -> Strided_store.clear s
 
+(* Flight-recorder hooks: only the disjoint store keeps interval
+   history. The legacy store never merges (every access stays its own
+   node, so its debug info survives unmodified), and the strided store's
+   regions keep one uniform debug info by construction. *)
+let store_recorder = function D s -> Disjoint_store.recorder s | L _ | S _ -> None
+
+let store_note_epoch = function D s -> Disjoint_store.note_epoch s | L _ | S _ -> ()
+
 type tree = {
   store : store;
   mutable epoch_open : bool;
@@ -95,8 +103,8 @@ let obs_epoch_closes = Obs.counter ~help:"Epoch close events observed" "analyzer
 let obs_window_clears =
   Obs.counter ~help:"Global window clears (all ranks closed)" "analyzer.window_clears"
 
-let record_race st ~space ~win ~existing ~incoming ~sim_time =
-  let report = Report.make ~tool:st.name ~space ~win ~existing ~incoming ~sim_time in
+let record_race st ~space ~win ~existing ~incoming ~sim_time ~provenance =
+  let report = Report.make ~tool:st.name ~space ~win ~existing ~incoming ~sim_time ~provenance () in
   st.race_count <- st.race_count + 1;
   Obs.incr obs_races;
   if st.race_count <= st.max_reports then st.races <- report :: st.races;
@@ -104,13 +112,30 @@ let record_race st ~space ~win ~existing ~incoming ~sim_time =
   | Tool.Abort_on_race -> raise (Report.Race_abort report)
   | Tool.Collect -> ()
 
+(* Provenance of a conflict inside one tree: the next race id, plus —
+   when the flight recorder is on — the tree's epoch and the original
+   accesses behind each side's byte range. *)
+let provenance_of st tree ~existing ~incoming =
+  let id = st.race_count + 1 in
+  match store_recorder tree.store with
+  | None -> { Report.empty_provenance with Report.id }
+  | Some r ->
+      {
+        Report.id;
+        epoch = Some (Flight_recorder.current_epoch r);
+        vclock = None;
+        existing_history = Flight_recorder.history r existing.Access.interval;
+        incoming_history = Flight_recorder.history r incoming.Access.interval;
+      }
+
 let insert_into st key access ~sim_time =
   let tree = tree_for st key in
   match store_insert tree.store access with
   | Store_intf.Inserted -> ()
   | Store_intf.Race_detected { existing; incoming } ->
       let space, win = key in
-      record_race st ~space ~win:(Some win) ~existing ~incoming ~sim_time
+      let provenance = provenance_of st tree ~existing ~incoming in
+      record_race st ~space ~win:(Some win) ~existing ~incoming ~sim_time ~provenance
 
 (* Which trees receive a local access: the window containing it when its
    epoch is open, otherwise every open epoch of the rank (the analyzer
@@ -153,6 +178,7 @@ let observer st event =
   | Event.Epoch_opened { win; rank; sim_time } ->
       let tree = tree_for st (rank, win) in
       tree.epoch_open <- true;
+      store_note_epoch tree.store;
       if Obs.is_enabled () then
         tree.epoch_span <-
           Obs.start_span ~cat:"epoch" ~pid:(Obs.sim_pid ()) ~tid:rank ~at:sim_time

@@ -120,15 +120,19 @@ let run ?(seed = 11) ~tool scenario =
   let reports = tool.Rma_analysis.Tool.races () in
   { scenario; flagged = reports <> []; reports }
 
-type confusion = { tp : int; fp : int; tn : int; fn : int }
+type confusion = { tp : int; fp : int; tn : int; fn : int; dropped : int }
 
 let score ?seed ~tool scenarios =
   List.fold_left
     (fun acc scenario ->
-      match classify (run ?seed ~tool scenario) with
+      let verdict = run ?seed ~tool scenario in
+      (* Each run resets the tool, so dropped reports must be tallied
+         per scenario to make report-cap truncation visible in Table 3. *)
+      let acc = { acc with dropped = acc.dropped + Rma_analysis.Tool.dropped_races tool } in
+      match classify verdict with
       | True_positive -> { acc with tp = acc.tp + 1 }
       | False_positive -> { acc with fp = acc.fp + 1 }
       | True_negative -> { acc with tn = acc.tn + 1 }
       | False_negative -> { acc with fn = acc.fn + 1 })
-    { tp = 0; fp = 0; tn = 0; fn = 0 }
+    { tp = 0; fp = 0; tn = 0; fn = 0; dropped = 0 }
     scenarios

@@ -23,7 +23,10 @@ val program : Scenario.t -> unit -> unit
 (** The rank program itself, exposed for tests and the example
     binaries. *)
 
-type confusion = { tp : int; fp : int; tn : int; fn : int }
+type confusion = { tp : int; fp : int; tn : int; fn : int; dropped : int }
+(** [dropped] totals the reports lost to each run's [max_reports] cap
+    across the suite — nonzero means the per-scenario report lists were
+    truncated. *)
 
 val score : ?seed:int -> tool:Rma_analysis.Tool.t -> Scenario.t list -> confusion
 (** Runs every scenario and tallies the confusion matrix (Table 3). *)

@@ -57,12 +57,13 @@ let table2 () =
 (* Table 3                                                              *)
 (* ------------------------------------------------------------------ *)
 
-type confusion_row = { tool : string; fp : int; fn : int; tp : int; tn : int }
+type confusion_row = { tool : string; fp : int; fn : int; tp : int; tn : int; dropped : int }
 
 let table3 () =
   let score name tool =
     let c = Runner.score ~tool Scenario.all in
-    { tool = name; fp = c.Runner.fp; fn = c.Runner.fn; tp = c.Runner.tp; tn = c.Runner.tn }
+    { tool = name; fp = c.Runner.fp; fn = c.Runner.fn; tp = c.Runner.tp; tn = c.Runner.tn;
+      dropped = c.Runner.dropped }
   in
   let rows =
     [
@@ -86,8 +87,9 @@ let table3 () =
   let cell f = List.map (fun r -> string_of_int (f r)) rows in
   List.iter2
     (fun label cells -> Table.add_row t (label :: cells))
-    [ "FP"; "FN"; "TP"; "TN" ]
-    [ cell (fun r -> r.fp); cell (fun r -> r.fn); cell (fun r -> r.tp); cell (fun r -> r.tn) ];
+    [ "FP"; "FN"; "TP"; "TN"; "Dropped reports" ]
+    [ cell (fun r -> r.fp); cell (fun r -> r.fn); cell (fun r -> r.tp); cell (fun r -> r.tn);
+      cell (fun r -> r.dropped) ];
   (rows, Table.render t)
 
 (* ------------------------------------------------------------------ *)
@@ -122,6 +124,8 @@ type table4_row = {
   vertices : int;
   legacy_nodes : int;
   contribution_nodes : int;
+  legacy_peak : int;
+  contribution_peak : int;
   reduction : float;
 }
 
@@ -147,6 +151,8 @@ let table4 ?(scale = 0.1) ?(ranks = default_rank_sweep) () =
               vertices = params.Minivite.Louvain.graph.Minivite.Graph.n_vertices;
               legacy_nodes = nl;
               contribution_nodes = nc;
+              legacy_peak = legacy.Harness.nodes_peak;
+              contribution_peak = contribution.Harness.nodes_peak;
               reduction = float_of_int (nl - nc) /. float_of_int (max 1 nl);
             })
           ranks)
@@ -161,7 +167,8 @@ let table4 ?(scale = 0.1) ?(ranks = default_rank_sweep) () =
            scale)
       ~columns:
         [ ("Ranks", Table.Right); ("Vertices", Table.Right); ("RMA-Analyzer", Table.Right);
-          ("Our Contribution", Table.Right); ("Legacy / rank", Table.Right);
+          ("Our Contribution", Table.Right); ("Peak (legacy)", Table.Right);
+          ("Peak (contrib.)", Table.Right); ("Legacy / rank", Table.Right);
           ("Reduction of Nodes", Table.Right) ]
       ()
   in
@@ -170,7 +177,8 @@ let table4 ?(scale = 0.1) ?(ranks = default_rank_sweep) () =
       Table.add_row t
         [
           string_of_int r.ranks; string_of_int r.vertices; string_of_int r.legacy_nodes;
-          string_of_int r.contribution_nodes; string_of_int (r.legacy_nodes / max 1 r.ranks);
+          string_of_int r.contribution_nodes; string_of_int r.legacy_peak;
+          string_of_int r.contribution_peak; string_of_int (r.legacy_nodes / max 1 r.ranks);
           Table.cell_percent r.reduction;
         ])
     rows;
@@ -326,7 +334,9 @@ type perf_row = {
   exec_time : float;
   wall : float;
   nodes : int;
+  nodes_peak : int;
   races : int;
+  dropped : int;
 }
 
 let perf_row_of_metrics (m : Harness.metrics) =
@@ -337,8 +347,16 @@ let perf_row_of_metrics (m : Harness.metrics) =
     exec_time = m.Harness.makespan;
     wall = m.Harness.wall_seconds;
     nodes = (if m.Harness.trees > 0 then m.Harness.nodes_final / m.Harness.trees else 0);
+    nodes_peak = m.Harness.nodes_peak;
     races = m.Harness.races;
+    dropped = m.Harness.dropped_races;
   }
+
+(* Race counts render with their truncation: "1203 (203 dropped)" says
+   the stored list stops at the report cap. *)
+let cell_reports r =
+  if r.dropped > 0 then Printf.sprintf "%d (%d dropped)" r.races r.dropped
+  else string_of_int r.races
 
 let fig10 ?(nprocs = 12) ?(repeats = 2) () =
   let params = Cfd_proxy.Halo.default_params in
@@ -369,14 +387,15 @@ let fig10 ?(nprocs = 12) ?(repeats = 2) () =
            nprocs params.Cfd_proxy.Halo.iterations)
       ~columns:
         [ ("Method", Table.Left); ("Epoch time (s)", Table.Right);
-          ("BST nodes (per tree)", Table.Right); ("Reports", Table.Right) ]
+          ("BST nodes (per tree)", Table.Right); ("Peak nodes", Table.Right);
+          ("Reports", Table.Right) ]
       ()
   in
   List.iter
     (fun r ->
       Table.add_row t
         [ r.tool; Table.cell_float ~decimals:3 r.epoch_time; string_of_int r.nodes;
-          string_of_int r.races ])
+          string_of_int r.nodes_peak; cell_reports r ])
     rows;
   let chart =
     Rma_util.Chart.bar_chart ~unit_label:"s" ~title:"Cumulative time spent in epoch (mean per rank)"
@@ -408,7 +427,8 @@ let minivite_figure ~figure ~vertices_base ?(scale = 0.1) ?(ranks = default_rank
            figure (string_of_int vertices) scale)
       ~columns:
         [ ("Ranks", Table.Right); ("Method", Table.Left); ("Execution time (ms)", Table.Right);
-          ("BST nodes (per tree)", Table.Right) ]
+          ("BST nodes (per tree)", Table.Right); ("Peak nodes", Table.Right);
+          ("Reports", Table.Right) ]
       ()
   in
   List.iter
@@ -416,7 +436,7 @@ let minivite_figure ~figure ~vertices_base ?(scale = 0.1) ?(ranks = default_rank
       Table.add_row t
         [
           string_of_int r.nprocs; r.tool; Table.cell_float ~decimals:1 (r.exec_time *. 1000.0);
-          string_of_int r.nodes;
+          string_of_int r.nodes; string_of_int r.nodes_peak; cell_reports r;
         ])
     rows;
   let groups =
@@ -536,20 +556,23 @@ let export ~dir ?scale ?ranks experiments =
       | "table3" ->
           let rows, _ = table3 () in
           Csv.write ~path:(path "table3")
-            ~header:[ "tool"; "fp"; "fn"; "tp"; "tn" ]
+            ~header:[ "tool"; "fp"; "fn"; "tp"; "tn"; "dropped_reports" ]
             (List.map
                (fun (r : confusion_row) ->
                  [ r.tool; string_of_int r.fp; string_of_int r.fn; string_of_int r.tp;
-                   string_of_int r.tn ])
+                   string_of_int r.tn; string_of_int r.dropped ])
                rows)
       | "table4" ->
           let rows, _ = table4 ?scale ?ranks () in
           Csv.write ~path:(path "table4")
-            ~header:[ "ranks"; "vertices"; "legacy_nodes"; "contribution_nodes"; "reduction" ]
+            ~header:
+              [ "ranks"; "vertices"; "legacy_nodes"; "contribution_nodes"; "legacy_peak";
+                "contribution_peak"; "reduction" ]
             (List.map
                (fun r ->
                  [ string_of_int r.ranks; string_of_int r.vertices; string_of_int r.legacy_nodes;
-                   string_of_int r.contribution_nodes; Printf.sprintf "%.6f" r.reduction ])
+                   string_of_int r.contribution_nodes; string_of_int r.legacy_peak;
+                   string_of_int r.contribution_peak; Printf.sprintf "%.6f" r.reduction ])
                rows)
       | "fig10" | "fig11" | "fig12" ->
           let rows, _ =
@@ -559,12 +582,14 @@ let export ~dir ?scale ?ranks experiments =
             | _ -> fig12 ?scale ?ranks ()
           in
           Csv.write ~path:(path experiment)
-            ~header:[ "ranks"; "tool"; "epoch_time_s"; "exec_time_s"; "nodes_per_tree"; "reports" ]
+            ~header:
+              [ "ranks"; "tool"; "epoch_time_s"; "exec_time_s"; "nodes_per_tree"; "nodes_peak";
+                "reports"; "dropped_reports" ]
             (List.map
                (fun (r : perf_row) ->
                  [ string_of_int r.nprocs; r.tool; Printf.sprintf "%.6f" r.epoch_time;
                    Printf.sprintf "%.6f" r.exec_time; string_of_int r.nodes;
-                   string_of_int r.races ])
+                   string_of_int r.nodes_peak; string_of_int r.races; string_of_int r.dropped ])
                rows)
       | "ablation" ->
           let rows, _ = ablation () in

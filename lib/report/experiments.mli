@@ -17,6 +17,7 @@ type confusion_row = {
   fn : int;
   tp : int;
   tn : int;
+  dropped : int;  (** Reports past the tool's [max_reports] cap. *)
 }
 
 val table3 : unit -> confusion_row list * string
@@ -27,6 +28,8 @@ type table4_row = {
   vertices : int;
   legacy_nodes : int;
   contribution_nodes : int;
+  legacy_peak : int;  (** Peak live BST nodes across the run. *)
+  contribution_peak : int;
   reduction : float;  (** Fraction in [0,1]. *)
 }
 
@@ -58,7 +61,9 @@ type perf_row = {
   exec_time : float;  (** Simulated makespan (s). *)
   wall : float;
   nodes : int;
+  nodes_peak : int;  (** Peak live BST nodes (memory high-water mark). *)
   races : int;
+  dropped : int;  (** Reports past the tool's [max_reports] cap. *)
 }
 
 val fig10 : ?nprocs:int -> ?repeats:int -> unit -> perf_row list * string

@@ -24,6 +24,7 @@ type metrics = {
   epoch_time_mean : float;
   makespan : float;
   races : int;
+  dropped_races : int;
   nodes_final : int;
   nodes_peak : int;
   trees : int;
@@ -54,6 +55,7 @@ let measure ~nprocs ?(config = Mpi_sim.Config.default) ~workload kind =
     epoch_time_mean = epoch_total /. float_of_int (max 1 nprocs);
     makespan = result.Mpi_sim.Runtime.makespan;
     races = tool.Tool.race_count ();
+    dropped_races = Tool.dropped_races tool;
     nodes_final = b.Tool.nodes_final_total;
     nodes_peak = b.Tool.nodes_peak_total;
     trees = b.Tool.stores;

@@ -29,6 +29,10 @@ type metrics = {
   epoch_time_mean : float;
   makespan : float;  (** Simulated end-to-end time (max rank clock). *)
   races : int;
+  dropped_races : int;
+      (** Reports past the tool's [max_reports] cap — nonzero means the
+          tables above under-show the stored race list (truncation made
+          visible, satellite of the provenance pipeline). *)
   nodes_final : int;
   nodes_peak : int;
   trees : int;  (** (rank, window) trees the tool created. *)

@@ -1,0 +1,202 @@
+module Json = Rma_util.Json
+module Obs = Rma_obs.Obs
+
+let schema_version = 1
+
+type sample = { name : string; wall_seconds : float; metrics : (string * float) list }
+
+type record = {
+  schema_version : int;
+  generator : string;
+  scale : float;
+  samples : sample list;
+  counters : (string * int) list;
+}
+
+let make ~generator ~scale samples =
+  {
+    schema_version;
+    generator;
+    scale;
+    samples;
+    counters =
+      List.map (fun (c : Obs.counter) -> (c.Obs.c_name, c.Obs.c_value)) (Obs.all_counters ());
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_sample s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("wall_seconds", Json.Float s.wall_seconds);
+      ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.metrics));
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.Int r.schema_version);
+      ("generator", Json.String r.generator);
+      ("scale", Json.Float r.scale);
+      ("samples", Json.List (List.map json_of_sample r.samples));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
+    ]
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let sample_of_json j =
+  let* name = field "name" Json.to_str j in
+  let* wall_seconds = field "wall_seconds" Json.to_float j in
+  let* metrics_obj = field "metrics" Json.to_obj j in
+  let* metrics =
+    map_result
+      (fun (k, v) ->
+        match Json.to_float v with
+        | Some f -> Ok (k, f)
+        | None -> Error (Printf.sprintf "ill-typed metric %S" k))
+      metrics_obj
+  in
+  Ok { name; wall_seconds; metrics }
+
+let of_json j =
+  let* version = field "schema_version" Json.to_int j in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf "unsupported bench schema version %d (expected %d)" version schema_version)
+  else
+    let* generator = field "generator" Json.to_str j in
+    let* scale = field "scale" Json.to_float j in
+    let* samples_json = field "samples" Json.to_list j in
+    let* samples = map_result sample_of_json samples_json in
+    let* counters_obj = field "counters" Json.to_obj j in
+    let* counters =
+      map_result
+        (fun (k, v) ->
+          match Json.to_int v with
+          | Some i -> Ok (k, i)
+          | None -> Error (Printf.sprintf "ill-typed counter %S" k))
+        counters_obj
+    in
+    Ok { schema_version = version; generator; scale; samples; counters }
+
+let write ~path r = Json.write ~path (to_json r)
+
+let load ~path =
+  let* j = Json.load ~path in
+  of_json j
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  sample_name : string;
+  metric : string;
+  old_value : float;
+  new_value : float;
+  ratio : float;
+  regression : bool;
+}
+
+let contains_sub ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let lower_is_better metric =
+  List.exists
+    (fun sub -> contains_sub ~sub metric)
+    [ "seconds"; "time"; "_ns"; "nodes"; "dropped"; "_fp"; "_fn" ]
+
+(* Wall times below this are scheduling noise at CI scale; never flag
+   them. *)
+let absolute_floor = 1e-3
+
+let delta_of ~threshold ~sample_name ~metric ~old_value ~new_value =
+  let ratio =
+    if old_value = 0.0 && new_value = 0.0 then 1.0
+    else if old_value = 0.0 then Float.infinity
+    else new_value /. old_value
+  in
+  let regression =
+    lower_is_better metric
+    && new_value > absolute_floor
+    && new_value -. old_value > threshold *. Float.abs old_value
+    && new_value -. old_value > absolute_floor
+  in
+  { sample_name; metric; old_value; new_value; ratio; regression }
+
+let compare_records ?(threshold = 0.5) old_r new_r =
+  List.concat_map
+    (fun old_s ->
+      match List.find_opt (fun s -> String.equal s.name old_s.name) new_r.samples with
+      | None -> []
+      | Some new_s ->
+          delta_of ~threshold ~sample_name:old_s.name ~metric:"wall_seconds"
+            ~old_value:old_s.wall_seconds ~new_value:new_s.wall_seconds
+          :: List.filter_map
+               (fun (metric, old_value) ->
+                 match List.assoc_opt metric new_s.metrics with
+                 | None -> None
+                 | Some new_value ->
+                     Some (delta_of ~threshold ~sample_name:old_s.name ~metric ~old_value ~new_value))
+               old_s.metrics)
+    old_r.samples
+
+let regressions deltas = List.filter (fun d -> d.regression) deltas
+
+let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
+  let deltas = compare_records ~threshold old_record new_record in
+  let module Table = Rma_util.Text_table in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Perf trajectory: %s -> %s (threshold +%.0f%%)" old_record.generator
+           new_record.generator (100.0 *. threshold))
+      ~columns:
+        [ ("Experiment", Table.Left); ("Metric", Table.Left); ("Old", Table.Right);
+          ("New", Table.Right); ("Ratio", Table.Right); ("", Table.Left) ]
+      ()
+  in
+  let interesting d =
+    (* Keep the table readable: changed metrics plus all regressions. *)
+    d.regression || Float.abs (d.ratio -. 1.0) > 0.02
+  in
+  let shown = List.filter interesting deltas in
+  List.iter
+    (fun d ->
+      Table.add_row t
+        [
+          d.sample_name; d.metric; Printf.sprintf "%.6g" d.old_value;
+          Printf.sprintf "%.6g" d.new_value;
+          (if Float.is_finite d.ratio then Printf.sprintf "%.2fx" d.ratio else "inf");
+          (if d.regression then "REGRESSION" else "");
+        ])
+    shown;
+  let regs = regressions deltas in
+  let summary =
+    if deltas = [] then "no comparable metrics (disjoint experiment sets?)"
+    else if regs = [] then
+      Printf.sprintf "OK: %d metrics compared, %d changed beyond 2%%, no regressions past +%.0f%%"
+        (List.length deltas) (List.length shown) (100.0 *. threshold)
+    else
+      Printf.sprintf "REGRESSIONS: %d of %d metrics grew past +%.0f%%" (List.length regs)
+        (List.length deltas) (100.0 *. threshold)
+  in
+  let body = if shown = [] then summary ^ "\n" else Table.render t ^ summary ^ "\n" in
+  (body, regs <> [])

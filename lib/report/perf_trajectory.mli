@@ -1,0 +1,71 @@
+(** The bench harness's perf-trajectory format: one schema-versioned
+    JSON record per [bench/main.exe --json] run, with one sample per
+    experiment (wall seconds plus a flat metric bag: simulated times,
+    BST node counts, confusion-matrix cells, Obs counter snapshot), and
+    the comparison logic behind [bench/main.exe --compare old new].
+
+    The record is what turns the checked-in BENCH_*.json files from
+    prose into a regression signal: CI regenerates the record at CI
+    scale and diffs it against the previous PR's, flagging any
+    lower-is-better metric that grew past a threshold. *)
+
+type sample = {
+  name : string;  (** Experiment name: "table3", "fig10", "micro"... *)
+  wall_seconds : float;  (** Real time of the whole experiment. *)
+  metrics : (string * float) list;  (** Flat, insertion-ordered. *)
+}
+
+type record = {
+  schema_version : int;
+  generator : string;
+  scale : float;  (** MiniVite input scale the record was produced at. *)
+  samples : sample list;
+  counters : (string * int) list;  (** Obs counter snapshot after the run. *)
+}
+
+val schema_version : int
+(** 1. *)
+
+val make : generator:string -> scale:float -> sample list -> record
+(** Stamps the current schema version and appends the current Obs
+    counter values. *)
+
+val to_json : record -> Rma_util.Json.t
+
+val of_json : Rma_util.Json.t -> (record, string) result
+
+val write : path:string -> record -> unit
+
+val load : path:string -> (record, string) result
+
+(** {1 Comparison} *)
+
+type delta = {
+  sample_name : string;
+  metric : string;  (** ["wall_seconds"] or a metric-bag key. *)
+  old_value : float;
+  new_value : float;
+  ratio : float;  (** [new / old]; 1.0 when both are 0. *)
+  regression : bool;
+      (** The metric is lower-is-better and grew by more than the
+          threshold. *)
+}
+
+val lower_is_better : string -> bool
+(** Time-like and size-like metrics ("...seconds", "...time...",
+    "...ns...", "...nodes...", "...dropped...") regress upward; anything
+    else is reported as change only. *)
+
+val compare_records : ?threshold:float -> record -> record -> delta list
+(** All metric pairs present in both records, in the old record's order.
+    [threshold] is the tolerated relative growth of lower-is-better
+    metrics before a delta counts as a regression (default 0.5 = +50%),
+    with an absolute floor: sub-millisecond wall times never regress
+    (pure scheduling noise). Identical records yield only
+    [ratio = 1.0, regression = false] deltas. *)
+
+val regressions : delta list -> delta list
+
+val render_comparison : ?threshold:float -> old_record:record -> new_record:record -> unit -> string * bool
+(** Human-readable per-metric table plus a verdict line; the boolean is
+    [true] when at least one regression fired. *)

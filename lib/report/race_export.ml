@@ -1,0 +1,369 @@
+open Rma_access
+open Rma_analysis
+module Json = Rma_util.Json
+module Flight_recorder = Rma_store.Flight_recorder
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+(* JSON encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_debug (d : Debug_info.t) =
+  Json.Obj
+    [
+      ("file", Json.String d.Debug_info.file);
+      ("line", Json.Int d.Debug_info.line);
+      ("operation", Json.String d.Debug_info.operation);
+    ]
+
+let json_of_access (a : Access.t) =
+  Json.Obj
+    [
+      ("lo", Json.Int (Interval.lo a.Access.interval));
+      ("hi", Json.Int (Interval.hi a.Access.interval));
+      ("kind", Json.String (Access_kind.to_string a.Access.kind));
+      ("issuer", Json.Int a.Access.issuer);
+      ("seq", Json.Int a.Access.seq);
+      ("debug", json_of_debug a.Access.debug);
+    ]
+
+let json_of_origin (o : Flight_recorder.origin) =
+  Json.Obj
+    [ ("access", json_of_access o.Flight_recorder.access); ("epoch", Json.Int o.Flight_recorder.epoch) ]
+
+let json_of_report (r : Report.t) =
+  let p = r.Report.provenance in
+  Json.Obj
+    [
+      ("id", Json.Int p.Report.id);
+      ("tool", Json.String r.Report.tool);
+      ("space", Json.Int r.Report.space);
+      ("win", match r.Report.win with Some w -> Json.Int w | None -> Json.Null);
+      ("sim_time", Json.Float r.Report.sim_time);
+      ("matrix_cell", Json.String (Report.matrix_cell r));
+      ("message", Json.String (Report.to_message r));
+      ("existing", json_of_access r.Report.existing);
+      ("incoming", json_of_access r.Report.incoming);
+      ("epoch", match p.Report.epoch with Some e -> Json.Int e | None -> Json.Null);
+      ( "vclock",
+        match p.Report.vclock with
+        | Some comps ->
+            Json.List (List.map (fun (t, v) -> Json.List [ Json.Int t; Json.Int v ]) comps)
+        | None -> Json.Null );
+      ("existing_history", Json.List (List.map json_of_origin p.Report.existing_history));
+      ("incoming_history", Json.List (List.map json_of_origin p.Report.incoming_history));
+    ]
+
+let to_json ~generator reports =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("generator", Json.String generator);
+      ("race_count", Json.Int (List.length reports));
+      ("races", Json.List (List.map json_of_report reports));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON decoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let opt_field name conv j =
+  match Json.member name j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some v -> Ok (Some v)
+      | None -> Error (Printf.sprintf "ill-typed field %S" name))
+
+let kind_of_string s =
+  List.find_opt (fun k -> String.equal (Access_kind.to_string k) s) Access_kind.all
+
+let access_of_json j =
+  let* lo = field "lo" Json.to_int j in
+  let* hi = field "hi" Json.to_int j in
+  let* kind_name = field "kind" Json.to_str j in
+  let* kind =
+    match kind_of_string kind_name with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "unknown access kind %S" kind_name)
+  in
+  let* issuer = field "issuer" Json.to_int j in
+  let* seq = field "seq" Json.to_int j in
+  let* debug_json = field "debug" Option.some j in
+  let* file = field "file" Json.to_str debug_json in
+  let* line = field "line" Json.to_int debug_json in
+  let* operation = field "operation" Json.to_str debug_json in
+  if lo > hi then Error (Printf.sprintf "bad interval [%d...%d]" lo hi)
+  else
+    Ok
+      (Access.make ~interval:(Interval.make ~lo ~hi) ~kind ~issuer ~seq
+         ~debug:(Debug_info.make ~file ~line ~operation))
+
+let origin_of_json j =
+  let* access_json = field "access" Option.some j in
+  let* access = access_of_json access_json in
+  let* epoch = field "epoch" Json.to_int j in
+  Ok { Flight_recorder.access; epoch }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let vclock_component_of_json j =
+  match Json.to_list j with
+  | Some [ t; v ] -> (
+      match (Json.to_int t, Json.to_int v) with
+      | Some t, Some v -> Ok (t, v)
+      | _ -> Error "ill-typed vclock component")
+  | _ -> Error "ill-typed vclock component"
+
+let report_of_json j =
+  let* id = field "id" Json.to_int j in
+  let* tool = field "tool" Json.to_str j in
+  let* space = field "space" Json.to_int j in
+  let* win = opt_field "win" Json.to_int j in
+  let* sim_time = field "sim_time" Json.to_float j in
+  let* existing = field "existing" Option.some j in
+  let* existing = access_of_json existing in
+  let* incoming = field "incoming" Option.some j in
+  let* incoming = access_of_json incoming in
+  let* epoch = opt_field "epoch" Json.to_int j in
+  let* vclock =
+    match Json.member "vclock" j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_list v with
+        | None -> Error "ill-typed field \"vclock\""
+        | Some comps ->
+            let* comps = map_result vclock_component_of_json comps in
+            Ok (Some comps))
+  in
+  let* existing_history =
+    let* l = field "existing_history" Json.to_list j in
+    map_result origin_of_json l
+  in
+  let* incoming_history =
+    let* l = field "incoming_history" Json.to_list j in
+    map_result origin_of_json l
+  in
+  let provenance = { Report.id; epoch; vclock; existing_history; incoming_history } in
+  Ok (Report.make ~tool ~space ~win ~existing ~incoming ~sim_time ~provenance ())
+
+let of_json j =
+  let* version = field "schema_version" Json.to_int j in
+  if version <> schema_version then
+    Error (Printf.sprintf "unsupported race schema version %d (expected %d)" version schema_version)
+  else
+    let* races = field "races" Json.to_list j in
+    map_result report_of_json races
+
+let write_json ~path ~generator reports = Json.write ~path (to_json ~generator reports)
+
+let load_json ~path =
+  let* j = Json.load ~path in
+  of_json j
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rule_id = "mpi-rma-data-race"
+
+let sarif_location ?message (d : Debug_info.t) =
+  let physical =
+    Json.Obj
+      [
+        ("artifactLocation", Json.Obj [ ("uri", Json.String d.Debug_info.file) ]);
+        ("region", Json.Obj [ ("startLine", Json.Int (max 1 d.Debug_info.line)) ]);
+      ]
+  in
+  let fields = [ ("physicalLocation", physical) ] in
+  let fields =
+    match message with
+    | Some m -> fields @ [ ("message", Json.Obj [ ("text", Json.String m) ]) ]
+    | None -> fields
+  in
+  Json.Obj fields
+
+let sarif_result (r : Report.t) =
+  let p = r.Report.provenance in
+  let side_message role (a : Access.t) =
+    Printf.sprintf "%s %s access %s by rank %d" role
+      (Access_kind.to_string a.Access.kind)
+      (Interval.to_string a.Access.interval)
+      a.Access.issuer
+  in
+  (* Primary location: the incoming statement. Every other contributing
+     source location — the existing side plus all flight-recorder
+     origins whose debug info the tree no longer holds — goes into
+     relatedLocations, so tooling shows the full set even for merged
+     nodes. *)
+  let related =
+    let incoming_debug = r.Report.incoming.Access.debug in
+    List.filter_map
+      (fun (d : Debug_info.t) ->
+        if Debug_info.equal d incoming_debug then None
+        else
+          Some
+            (sarif_location
+               ~message:(Printf.sprintf "contributing access (%s)" d.Debug_info.operation)
+               d))
+      (Report.contributing_debugs r)
+  in
+  let properties =
+    [
+      ("raceId", Json.Int p.Report.id);
+      ("tool", Json.String r.Report.tool);
+      ("space", Json.Int r.Report.space);
+      ("window", match r.Report.win with Some w -> Json.Int w | None -> Json.Null);
+      ("simTime", Json.Float r.Report.sim_time);
+      ("matrixCell", Json.String (Report.matrix_cell r));
+      ("epoch", match p.Report.epoch with Some e -> Json.Int e | None -> Json.Null);
+      ( "existingHistory",
+        Json.List (List.map json_of_origin p.Report.existing_history) );
+      ( "incomingHistory",
+        Json.List (List.map json_of_origin p.Report.incoming_history) );
+    ]
+  in
+  let properties =
+    match p.Report.vclock with
+    | Some comps ->
+        properties
+        @ [
+            ( "vclock",
+              Json.List (List.map (fun (t, v) -> Json.List [ Json.Int t; Json.Int v ]) comps) );
+          ]
+    | None -> properties
+  in
+  Json.Obj
+    [
+      ("ruleId", Json.String rule_id);
+      ("level", Json.String "error");
+      ("message", Json.Obj [ ("text", Json.String (Report.to_message r)) ]);
+      ( "locations",
+        Json.List
+          [
+            sarif_location
+              ~message:(side_message "incoming" r.Report.incoming)
+              r.Report.incoming.Access.debug;
+          ] );
+      ( "relatedLocations",
+        Json.List
+          (sarif_location
+             ~message:(side_message "existing" r.Report.existing)
+             r.Report.existing.Access.debug
+          :: related) );
+      ("properties", Json.Obj properties);
+    ]
+
+let to_sarif ~generator reports =
+  let driver =
+    Json.Obj
+      [
+        ("name", Json.String "rma-race");
+        ("informationUri", Json.String "https://github.com/rma-race/rma-race");
+        ("version", Json.String "1.0.0");
+        ( "rules",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("id", Json.String rule_id);
+                  ( "shortDescription",
+                    Json.Obj [ ("text", Json.String "Data race between MPI-RMA accesses") ] );
+                  ( "fullDescription",
+                    Json.Obj
+                      [
+                        ( "text",
+                          Json.String
+                            "Two accesses to overlapping byte ranges, at least one one-sided and \
+                             at least one a write, with no synchronization ordering them \
+                             (Figure 3 of 'Rethinking Data Race Detection in MPI-RMA \
+                             Programs')." );
+                      ] );
+                  ("defaultConfiguration", Json.Obj [ ("level", Json.String "error") ]);
+                ];
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("$schema", Json.String "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ("tool", Json.Obj [ ("driver", driver) ]);
+                ( "automationDetails",
+                  Json.Obj [ ("id", Json.String generator) ] );
+                ("results", Json.List (List.map sarif_result reports));
+              ];
+          ] );
+    ]
+
+let write_sarif ~path ~generator reports = Json.write ~path (to_sarif ~generator reports)
+
+(* ------------------------------------------------------------------ *)
+(* Explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let find_race ~id reports =
+  match List.find_opt (fun r -> r.Report.provenance.Report.id = id) reports with
+  | Some _ as found -> found
+  | None -> List.nth_opt (List.filter (fun r -> r.Report.provenance.Report.id = 0) reports) (id - 1)
+
+let explain (r : Report.t) =
+  let p = r.Report.provenance in
+  let buf = Buffer.create 1024 in
+  let say fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  say "race #%d — %s" p.Report.id r.Report.tool;
+  say "  %s" (Report.to_message r);
+  say "";
+  say "where:    rank %d's address space%s, simulated time %.6f s" r.Report.space
+    (match r.Report.win with None -> "" | Some w -> Printf.sprintf ", window %d" w)
+    r.Report.sim_time;
+  (match p.Report.epoch with Some e -> say "epoch:    %d" e | None -> ());
+  say "verdict:  Figure 3 cell %s" (Report.matrix_cell r);
+  (match p.Report.vclock with
+  | Some comps ->
+      say "vclock:   %s"
+        (if comps = [] then "{}"
+         else
+           "{ "
+           ^ String.concat ", " (List.map (fun (t, v) -> Printf.sprintf "%d:%d" t v) comps)
+           ^ " }")
+  | None -> ());
+  say "";
+  let side label (a : Access.t) (history : Flight_recorder.origin list) =
+    say "%s %s" label (Access.to_string a);
+    match history with
+    | [] -> say "    (no interval history — flight recorder off or evicted)"
+    | history ->
+        say "    interval history (%d origin access%s, oldest first):" (List.length history)
+          (if List.length history = 1 then "" else "es");
+        List.iter
+          (fun (o : Flight_recorder.origin) ->
+            let a = o.Flight_recorder.access in
+            say "      epoch %d  seq %-6d %s %s from %s" o.Flight_recorder.epoch a.Access.seq
+              (Access_kind.to_string a.Access.kind)
+              (Interval.to_string a.Access.interval)
+              (Debug_info.to_string a.Access.debug))
+          history
+  in
+  side "existing:" r.Report.existing p.Report.existing_history;
+  say "";
+  side "incoming:" r.Report.incoming p.Report.incoming_history;
+  Buffer.contents buf

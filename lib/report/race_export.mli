@@ -1,0 +1,52 @@
+open Rma_analysis
+
+(** Machine-readable race reports: a versioned JSON format that
+    round-trips, a SARIF 2.1.0 emitter for code-review tooling, and the
+    plain-text timeline behind [rma_race explain].
+
+    Both exporters carry the full provenance a {!Report.t} holds: race
+    id, window, epoch, vector-clock snapshot and the flight-recorder
+    history of both sides — so a race whose contributing accesses were
+    merged into a single BST node still names every source location
+    involved. *)
+
+val schema_version : int
+(** Version stamp of the JSON race format (1). *)
+
+(** {1 JSON} *)
+
+val to_json : generator:string -> Report.t list -> Rma_util.Json.t
+(** [generator] names the producing command (goes into the header next
+    to the schema version). *)
+
+val of_json : Rma_util.Json.t -> (Report.t list, string) result
+(** Inverse of {!to_json}: rejects unknown schema versions and malformed
+    reports. [to_json] followed by [of_json] is the identity on every
+    field the format carries. *)
+
+val write_json : path:string -> generator:string -> Report.t list -> unit
+
+val load_json : path:string -> (Report.t list, string) result
+
+(** {1 SARIF 2.1.0} *)
+
+val to_sarif : generator:string -> Report.t list -> Rma_util.Json.t
+(** One run, one [mpi-rma-data-race] rule, one result per report. The
+    result's primary location is the incoming access; every other
+    contributing source location ({!Report.contributing_debugs}) becomes
+    a related location, and the provenance fields travel in the result's
+    property bag. *)
+
+val write_sarif : path:string -> generator:string -> Report.t list -> unit
+
+(** {1 Explain} *)
+
+val explain : Report.t -> string
+(** A multi-section plain-text rendering of one race: header and
+    Figure 9b message, the Figure 3 matrix cell that fired, both
+    surviving accesses, the vector-clock snapshot when present, and the
+    interval history of both sides as an epoch-stamped timeline. *)
+
+val find_race : id:int -> Report.t list -> Report.t option
+(** Lookup by provenance id (falls back to 1-based position for reports
+    that carry no id). *)

@@ -5,6 +5,9 @@ type t = {
   tree : Avl.t;
   order_aware : bool;
   merge : bool;
+  recorder : Flight_recorder.t option;
+      (* Present iff Flight_recorder.is_enabled () held at creation; the
+         disabled cost is this option match per insert. *)
   mutable peak_nodes : int;
   mutable inserts : int;
   mutable fragments_created : int;
@@ -17,12 +20,20 @@ let create ?(order_aware = true) ?(merge = true) () =
     tree = Avl.create ();
     order_aware;
     merge;
+    recorder = Flight_recorder.create ();
     peak_nodes = 0;
     inserts = 0;
     fragments_created = 0;
     merges_performed = 0;
     race_checks = 0;
   }
+
+let recorder t = t.recorder
+
+let note_epoch t = match t.recorder with Some r -> Flight_recorder.note_epoch r | None -> ()
+
+let record_origin t access =
+  match t.recorder with Some r -> Flight_recorder.record r access | None -> ()
 
 (* get_intersecting_accesses (Algorithm 1 line 5), widened by one byte on
    each side so merging can also see accesses adjacent to the new one
@@ -84,6 +95,7 @@ let insert_uninstrumented t access =
   match candidates with
   | [] ->
       (* Fast path: nothing overlaps or touches — plain insertion. *)
+      record_origin t access;
       Avl.insert t.tree access;
       if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
       Store_intf.Inserted
@@ -91,6 +103,7 @@ let insert_uninstrumented t access =
       match detect_race t access candidates with
       | Some existing -> Store_intf.Race_detected { existing; incoming = access }
       | None ->
+          record_origin t access;
           let fragments = fragment t ~candidates ~new_acc:access in
           let final = if t.merge then merge_pieces t fragments else fragments in
           (* finish_insertion (line 8): replace the old accesses with the
@@ -126,6 +139,8 @@ let stats t =
 
 let to_list t = Avl.to_list t.tree
 
-let clear t = Avl.clear t.tree
+let clear t =
+  Avl.clear t.tree;
+  match t.recorder with Some r -> Flight_recorder.clear r | None -> ()
 
 let pp fmt t = Avl.pp fmt t.tree

@@ -27,3 +27,17 @@ include Store_intf.S with type t := t
 val check_only : t -> Rma_access.Access.t -> Store_intf.insert_outcome
 (** The race check of [insert] without the insertion; used by tests to
     probe the conflict rule. *)
+
+(** {1 Flight recorder}
+
+    When {!Flight_recorder.is_enabled} held at {!create} time, the store
+    keeps a bounded ring of the original (pre-fragmentation) accesses it
+    absorbed, so race reports can name every source access that
+    contributed bytes to a node even after the Table 1 dominance rule or
+    merging discarded its debug info. All three entry points are no-ops
+    on a store created while recording was disabled. *)
+
+val recorder : t -> Flight_recorder.t option
+
+val note_epoch : t -> unit
+(** Advance the recorder's epoch stamp (called at [Epoch_opened]). *)

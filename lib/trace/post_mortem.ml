@@ -2,7 +2,14 @@ open Rma_access
 module Event = Mpi_sim.Event
 module Vclock = Rma_vclock.Vclock
 
-type race_pair = { space : int; win : Event.win_id option; first : Access.t; second : Access.t }
+type race_pair = {
+  space : int;
+  win : Event.win_id option;
+  first : Access.t;
+  second : Access.t;
+  first_clock : Vclock.t;
+  second_clock : Vclock.t;
+}
 
 type result = {
   races : race_pair list;
@@ -183,7 +190,16 @@ let analyze ?(max_reports = 10_000) events =
                     incr distinct;
                     if !distinct <= max_reports then begin
                       let win = match a.win with Some _ as w -> w | None -> b.win in
-                      races := { space; win; first = a.access; second = b.access } :: !races
+                      races :=
+                        {
+                          space;
+                          win;
+                          first = a.access;
+                          second = b.access;
+                          first_clock = a.clock;
+                          second_clock = b.clock;
+                        }
+                        :: !races
                     end
                   end
                 end
@@ -200,9 +216,24 @@ let analyze ?(max_reports = 10_000) events =
   }
 
 let to_reports result =
-  List.map
-    (fun (r : race_pair) ->
+  (* Same provenance shape as the on-the-fly tools: sequential race ids,
+     the second access's reconstructed clock as the detection snapshot,
+     and each side carried as its own single-origin history (the
+     post-mortem sweep never fragments, so the original accesses ARE the
+     history). *)
+  List.mapi
+    (fun i (r : race_pair) ->
+      let provenance =
+        {
+          Rma_analysis.Report.id = i + 1;
+          epoch = None;
+          vclock = Some (Vclock.components r.second_clock);
+          existing_history =
+            [ { Rma_store.Flight_recorder.access = r.first; epoch = 0 } ];
+          incoming_history =
+            [ { Rma_store.Flight_recorder.access = r.second; epoch = 0 } ];
+        }
+      in
       Rma_analysis.Report.make ~tool:"MC-Checker (post-mortem)" ~space:r.space ~win:r.win
-        ~existing:r.first ~incoming:r.second ~sim_time:0.0)
-
+        ~existing:r.first ~incoming:r.second ~sim_time:0.0 ~provenance ())
     result.races

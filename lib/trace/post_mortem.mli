@@ -16,6 +16,11 @@ type race_pair = {
   win : Mpi_sim.Event.win_id option;  (** Window involved, when known. *)
   first : Rma_access.Access.t;
   second : Rma_access.Access.t;
+  first_clock : Rma_vclock.Vclock.t;
+      (** Reconstructed happens-before clock at each access, kept so
+          {!to_reports} can fill the same provenance fields the
+          on-the-fly tools emit. *)
+  second_clock : Rma_vclock.Vclock.t;
 }
 
 type result = {
@@ -31,4 +36,7 @@ val analyze : ?max_reports:int -> Mpi_sim.Event.event list -> result
     space are reported once. *)
 
 val to_reports : result -> Rma_analysis.Report.t list
-(** As standard reports, tool name "MC-Checker (post-mortem)". *)
+(** As standard reports, tool name "MC-Checker (post-mortem)", carrying
+    the same provenance fields as the on-the-fly tools: sequential race
+    ids, the second access's clock snapshot, and both accesses as their
+    own single-origin histories. *)

@@ -26,6 +26,11 @@ let happens_before a b = leq a b && not (equal a b)
 
 let concurrent a b = (not (leq a b)) && not (leq b a)
 
+let components t = Imap.fold (fun i v acc -> if v > 0 then (i, v) :: acc else acc) t [] |> List.rev
+
+let of_components comps =
+  List.fold_left (fun acc (i, v) -> if v > 0 then Imap.add i v acc else acc) Imap.empty comps
+
 type stamp = { thread : int; epoch : int }
 
 let stamp_of t ~thread = { thread; epoch = get t thread }

@@ -51,5 +51,12 @@ val stamp_observed : stamp -> by:t -> bool
     event, i.e. did the event happen-before the point where [by] was
     taken? This is the O(1) TSan-style HB test. *)
 
+val components : t -> (int * int) list
+(** Non-zero [(thread, value)] components in increasing thread order —
+    the serializable snapshot race provenance carries. *)
+
+val of_components : (int * int) list -> t
+(** Inverse of {!components} (zero values are dropped). *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -20,4 +20,5 @@ let () =
       ("graph500", Test_graph500.suite);
       ("memory", Test_memory.suite);
       ("obs", Test_obs.suite);
+      ("export", Test_export.suite);
     ]
