@@ -146,6 +146,76 @@ let run_ablation () =
       ])
     rows
 
+(* Insert fast path: the Code 2 adjacent-access stream through the
+   disjoint store with the fast path off, the finger cache alone, and
+   the coalescing batch buffer — asserting identical verdicts and final
+   contents, and reporting the tree-operation reduction (the ISSUE 3
+   ≥2× target). *)
+let run_fastpath () =
+  section "Insert fast path (Code 2 adjacent-access microbench)";
+  let open Rma_access in
+  let open Rma_store in
+  let dbg line = Debug_info.make ~file:"code2.c" ~line ~operation:"MPI_Get" in
+  let mk ~seq ~line lo hi kind =
+    Access.make ~interval:(Interval.make ~lo ~hi) ~kind ~issuer:0 ~seq ~debug:(dbg line)
+  in
+  (* 1000 adjacent one-byte gets (Figure 8b), then one racy duplicate
+     from another rank so the race path is exercised identically. *)
+  let adjacent = Array.init 1_000 (fun i -> mk ~seq:(i + 1) ~line:2 i i Access_kind.Rma_write) in
+  let racy =
+    Access.make ~interval:(Interval.make ~lo:500 ~hi:500) ~kind:Access_kind.Rma_write ~issuer:1
+      ~seq:1_001 ~debug:(dbg 9)
+  in
+  let feed store =
+    Array.iter (fun a -> ignore (Disjoint_store.insert store a)) adjacent;
+    let verdict = Disjoint_store.insert store racy in
+    Disjoint_store.batch_flush store;
+    (verdict, Disjoint_store.stats store, Disjoint_store.to_list store)
+  in
+  let verdict_off, stats_off, list_off = feed (Disjoint_store.create ~fast_path:false ()) in
+  let finger = Disjoint_store.create ~batch:false () in
+  let verdict_f, stats_f, list_f = feed finger in
+  let batched = Disjoint_store.create ~batch:true () in
+  let verdict_b, stats_b, list_b = feed batched in
+  let same_verdict a b =
+    match (a, b) with
+    | Store_intf.Inserted, Store_intf.Inserted -> true
+    | ( Store_intf.Race_detected { existing = e1; incoming = i1 },
+        Store_intf.Race_detected { existing = e2; incoming = i2 } ) ->
+        Access.equal e1 e2 && Access.equal i1 i2
+    | _ -> false
+  in
+  let identical =
+    same_verdict verdict_off verdict_f && same_verdict verdict_off verdict_b
+    && List.equal Access.equal list_off list_f
+    && List.equal Access.equal list_off list_b
+    && stats_off.Store_intf.nodes = stats_f.Store_intf.nodes
+    && stats_off.Store_intf.nodes = stats_b.Store_intf.nodes
+  in
+  if not identical then failwith "fastpath bench: batched and unbatched stores disagree";
+  let fp_f = Disjoint_store.fast_path_stats finger in
+  let fp_b = Disjoint_store.fast_path_stats batched in
+  let reduction which ops =
+    let r = float_of_int stats_off.Store_intf.tree_ops /. float_of_int (max 1 ops) in
+    Printf.printf "%-28s %6d tree ops   (%.1fx fewer than fast-path-off)\n" which ops r;
+    r
+  in
+  Printf.printf "%-28s %6d tree ops\n" "fast path off" stats_off.Store_intf.tree_ops;
+  let red_f = reduction "finger cache" stats_f.Store_intf.tree_ops in
+  let red_b = reduction "batch buffer" stats_b.Store_intf.tree_ops in
+  Printf.printf "finger: %d hits; batch: %d coalesced, %d flushes\n" fp_f.finger_hits
+    fp_b.batch_coalesced fp_b.batch_flushes;
+  Printf.printf "race verdicts and final node sets: identical across all three\n";
+  [
+    ("fastpath_off_tree_ops", float_of_int stats_off.Store_intf.tree_ops);
+    ("fastpath_finger_tree_ops", float_of_int stats_f.Store_intf.tree_ops);
+    ("fastpath_batch_tree_ops", float_of_int stats_b.Store_intf.tree_ops);
+    ("fastpath_finger_reduction", red_f);
+    ("fastpath_batch_reduction", red_b);
+    ("fastpath_finger_hits", float_of_int fp_f.finger_hits);
+    ("fastpath_batch_coalesced", float_of_int fp_b.batch_coalesced);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one per table/figure, measuring the       *)
 (* detector inner loop that experiment stresses.                        *)
@@ -214,6 +284,15 @@ let micro_tests () =
       (Staged.stage (stream_insert_legacy cfd_stream));
     Test.make ~name:"fig8: code2 get loop, contribution store"
       (Staged.stage (stream_insert_disjoint fig8_stream));
+    Test.make ~name:"fig8: code2 get loop, contribution store (batched)"
+      (Staged.stage (fun () ->
+           let store = Disjoint_store.create ~batch:true () in
+           Array.iter (fun a -> ignore (Disjoint_store.insert store a)) fig8_stream;
+           Disjoint_store.batch_flush store));
+    Test.make ~name:"fig8: code2 get loop, contribution store (fast path off)"
+      (Staged.stage (fun () ->
+           let store = Disjoint_store.create ~fast_path:false () in
+           Array.iter (fun a -> ignore (Disjoint_store.insert store a)) fig8_stream));
     Test.make ~name:"fig5: fragmentation of one overlapping insert" (Staged.stage fig5_op);
   ]
 
@@ -293,6 +372,9 @@ let () =
     | "--compare" :: old_path :: new_path :: rest ->
         compare_paths := Some (old_path, new_path);
         parse rest
+    | "--batch-inserts" :: rest ->
+        Rma_store.Disjoint_store.set_batch_default true;
+        parse rest
     | arg :: rest ->
         selected := arg :: !selected;
         parse rest
@@ -316,18 +398,19 @@ let () =
     | "fig11" -> run_fig11 ~scale ~ranks ()
     | "fig12" -> run_fig12 ~scale ~ranks ()
     | "ablation" -> run_ablation ()
+    | "fastpath" -> run_fastpath ()
     | "micro" -> run_micro ()
     | "all" -> []
     | other ->
         Printf.eprintf
           "unknown experiment %S (expected table2 table3 table4 fig5 fig8 fig9 fig10 fig11 fig12 \
-           ablation micro all)\n"
+           ablation fastpath micro all)\n"
           other;
         exit 2
   in
   let all_names =
     [ "table2"; "table3"; "table4"; "fig5"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
-      "ablation"; "micro" ]
+      "ablation"; "fastpath"; "micro" ]
   in
   let selected = List.concat_map (function "all" -> all_names | n -> [ n ]) selected in
   (* Each experiment becomes a top-level phase span so a trace of the

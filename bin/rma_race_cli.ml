@@ -23,6 +23,7 @@ type diag_opts = {
   obs_sample : int;
   races_json : string option;
   races_sarif : string option;
+  batch_inserts : bool;
 }
 
 let wants_races opts = opts.races_json <> None || opts.races_sarif <> None
@@ -75,10 +76,20 @@ let diag_term =
             "Write the race reports of the run as SARIF 2.1.0 to $(docv), one result per race \
              with every contributing source location. Enables the flight recorder.")
   in
-  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif =
-    { obs_out; obs_summary; obs_prometheus; obs_sample; races_json; races_sarif }
+  let batch_inserts =
+    Arg.(
+      value & flag
+      & info [ "batch-inserts" ]
+          ~doc:
+            "Open the disjoint store's coalescing write buffer: runs of adjacent same-kind \
+             accesses are pre-merged in O(1) before touching the interval tree (flushed at every \
+             epoch close and race check, so verdicts are unchanged). Same as setting \
+             $(b,RMA_BATCH_INSERTS=1).")
   in
-  Term.(const mk $ out $ summary $ prometheus $ sample $ races_json $ races_sarif)
+  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif batch_inserts =
+    { obs_out; obs_summary; obs_prometheus; obs_sample; races_json; races_sarif; batch_inserts }
+  in
+  Term.(const mk $ out $ summary $ prometheus $ sample $ races_json $ races_sarif $ batch_inserts)
 
 let generator = "rma_race"
 
@@ -93,6 +104,9 @@ let with_diag opts f =
     Rma_obs.Obs.set_sampling ~keep_one_in:(max 1 opts.obs_sample)
   end;
   if wants_races opts then Rma_store.Flight_recorder.enable ();
+  (* Like the recorder flag, the batching default must be set before [f]
+     creates its tool. *)
+  if opts.batch_inserts then Rma_store.Disjoint_store.set_batch_default true;
   let obs_export () =
     if active then begin
       let write_file what write path =

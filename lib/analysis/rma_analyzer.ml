@@ -41,6 +41,11 @@ let store_recorder = function D s -> Disjoint_store.recorder s | L _ | S _ -> No
 
 let store_note_epoch = function D s -> Disjoint_store.note_epoch s | L _ | S _ -> ()
 
+(* Only the disjoint store buffers inserts; the buffer must be drained
+   before anything samples the tree (epoch-close node counts) so the
+   observable state matches an unbatched run byte for byte. *)
+let store_flush_batch = function D s -> Disjoint_store.batch_flush s | L _ | S _ -> ()
+
 type tree = {
   store : store;
   mutable epoch_open : bool;
@@ -53,6 +58,7 @@ type state = {
   config : Config.t;
   mode : Tool.mode;
   flush_clears : bool;
+  batch_inserts : bool;
   policy : policy;
   name : string;
   max_reports : int;
@@ -70,12 +76,12 @@ type state = {
   mutable race_count : int;
 }
 
-let new_store policy =
+let new_store ~batch policy =
   match policy with
   | Legacy -> L (Legacy_store.create ())
-  | Contribution -> D (Disjoint_store.create ())
-  | Fragmentation_only -> D (Disjoint_store.create ~merge:false ())
-  | Order_blind -> D (Disjoint_store.create ~order_aware:false ())
+  | Contribution -> D (Disjoint_store.create ~batch ())
+  | Fragmentation_only -> D (Disjoint_store.create ~merge:false ~batch ())
+  | Order_blind -> D (Disjoint_store.create ~order_aware:false ~batch ())
   | Strided_extension -> S (Strided_store.create ())
 
 let tree_for st key =
@@ -83,8 +89,8 @@ let tree_for st key =
   | Some t -> t
   | None ->
       let t =
-        { store = new_store st.policy; epoch_open = false; nodes_at_last_close = None;
-          epoch_span = None }
+        { store = new_store ~batch:st.batch_inserts st.policy; epoch_open = false;
+          nodes_at_last_close = None; epoch_span = None }
       in
       Hashtbl.replace st.trees key t;
       t
@@ -187,6 +193,7 @@ let observer st event =
   | Event.Epoch_closed { win; rank; sim_time } ->
       let tree = tree_for st (rank, win) in
       tree.epoch_open <- false;
+      store_flush_batch tree.store;
       let nodes = store_size tree.store in
       tree.nodes_at_last_close <- Some nodes;
       if Obs.is_enabled () then begin
@@ -245,13 +252,17 @@ let bst_summary st () =
     st.trees Tool.empty_bst_summary
 
 let create ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race) ?(flush_clears = false)
-    ?(max_reports = 1000) policy =
+    ?(max_reports = 1000) ?batch_inserts policy =
+  let batch_inserts =
+    match batch_inserts with Some b -> b | None -> Disjoint_store.batch_default_enabled ()
+  in
   let st =
     {
       nprocs;
       config;
       mode;
       flush_clears;
+      batch_inserts;
       policy;
       name = policy_name policy;
       max_reports;

@@ -35,10 +35,18 @@ val create :
   ?mode:Tool.mode ->
   ?flush_clears:bool ->
   ?max_reports:int ->
+  ?batch_inserts:bool ->
   policy ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Abort_on_race],
-    [flush_clears = false], [max_reports = 1000].
+    [flush_clears = false], [max_reports = 1000], [batch_inserts] from
+    {!Rma_store.Disjoint_store.batch_default_enabled} (the CLI's
+    [--batch-inserts] / the [RMA_BATCH_INSERTS] environment variable).
+
+    [batch_inserts:true] opens each disjoint store's coalescing write
+    buffer (see {!Rma_store.Disjoint_store.batch_begin}); the analyzer
+    drains it on every [Epoch_closed] before sampling node counts, so
+    verdicts and Table 4 metrics are identical with and without it.
 
     [max_reports] bounds the reports kept for {!Tool.t.races}; counting
     ({!Tool.t.race_count}) is never truncated, and

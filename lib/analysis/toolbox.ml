@@ -22,12 +22,14 @@ let slug = function
 
 let of_slug s = List.find_opt (fun k -> String.equal (slug k) s) all
 
-let make kind ~nprocs ?(config = Mpi_sim.Config.default) ?(mode = Tool.Collect) () =
+let make kind ~nprocs ?(config = Mpi_sim.Config.default) ?(mode = Tool.Collect) ?batch_inserts ()
+    =
+  let analyzer = Rma_analyzer.create ~nprocs ~config ~mode ?batch_inserts in
   match kind with
   | Baseline -> Tool.baseline
-  | Legacy -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Legacy
+  | Legacy -> analyzer Rma_analyzer.Legacy
   | Must -> Must_rma.create ~nprocs ~config ~mode ()
-  | Contribution -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Contribution
-  | Fragmentation_only -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Fragmentation_only
-  | Order_blind -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Order_blind
-  | Strided -> Rma_analyzer.create ~nprocs ~config ~mode Rma_analyzer.Strided_extension
+  | Contribution -> analyzer Rma_analyzer.Contribution
+  | Fragmentation_only -> analyzer Rma_analyzer.Fragmentation_only
+  | Order_blind -> analyzer Rma_analyzer.Order_blind
+  | Strided -> analyzer Rma_analyzer.Strided_extension

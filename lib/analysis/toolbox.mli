@@ -20,5 +20,15 @@ val slug : kind -> string
 
 val of_slug : string -> kind option
 
-val make : kind -> nprocs:int -> ?config:Mpi_sim.Config.t -> ?mode:Tool.mode -> unit -> Tool.t
-(** Defaults: [config = Mpi_sim.Config.default], [mode = Collect]. *)
+val make :
+  kind ->
+  nprocs:int ->
+  ?config:Mpi_sim.Config.t ->
+  ?mode:Tool.mode ->
+  ?batch_inserts:bool ->
+  unit ->
+  Tool.t
+(** Defaults: [config = Mpi_sim.Config.default], [mode = Collect],
+    [batch_inserts] from the process-wide default (see
+    {!Rma_analyzer.create}); it only affects the disjoint-store
+    policies. *)

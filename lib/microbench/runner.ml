@@ -136,3 +136,20 @@ let score ?seed ~tool scenarios =
       | False_negative -> { acc with fn = acc.fn + 1 })
     { tp = 0; fp = 0; tn = 0; fn = 0; dropped = 0 }
     scenarios
+
+type kernel_verdict = {
+  kernel : Scenario.Kernel.t;
+  k_flagged : bool;
+  k_reports : Rma_analysis.Report.t list;
+}
+
+let run_kernel ?(seed = 11) ~tool (kernel : Scenario.Kernel.t) =
+  tool.Rma_analysis.Tool.reset ();
+  let config = { Config.default with Config.analysis_overhead_scale = 0.0 } in
+  (try
+     ignore
+       (Runtime.run ~nprocs:kernel.Scenario.Kernel.k_nprocs ~seed ~config
+          ~observer:tool.Rma_analysis.Tool.observer kernel.Scenario.Kernel.k_program)
+   with Rma_analysis.Report.Race_abort _ -> ());
+  let k_reports = tool.Rma_analysis.Tool.races () in
+  { kernel; k_flagged = k_reports <> []; k_reports }

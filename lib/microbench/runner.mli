@@ -30,3 +30,15 @@ type confusion = { tp : int; fp : int; tn : int; fn : int; dropped : int }
 
 val score : ?seed:int -> tool:Rma_analysis.Tool.t -> Scenario.t list -> confusion
 (** Runs every scenario and tallies the confusion matrix (Table 3). *)
+
+(** {1 Kernel corpus} *)
+
+type kernel_verdict = {
+  kernel : Scenario.Kernel.t;
+  k_flagged : bool;
+  k_reports : Rma_analysis.Report.t list;
+}
+
+val run_kernel : ?seed:int -> tool:Rma_analysis.Tool.t -> Scenario.Kernel.t -> kernel_verdict
+(** Runs an RMARaceBench-shaped kernel on its [k_nprocs] ranks under the
+    tool (reset first) and reports whether it flagged a race. *)

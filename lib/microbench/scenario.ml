@@ -231,3 +231,225 @@ let expected_must_false_negatives =
   List.filter (fun s -> s.racy && involves_local s && s.stack_shared) all
 
 let find name = List.find_opt (fun s -> String.equal s.name name) all
+
+(* ------------------------------------------------------------------ *)
+(* RMARaceBench-shaped kernels                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Kernel = struct
+  module Mpi = Mpi_sim.Mpi
+
+  type sync = Fence | Lock_all | Flush_only
+
+  type locality = Remote | Local_buffer
+
+  type t = {
+    k_name : string;
+    k_sync : sync;
+    k_locality : locality;
+    k_nprocs : int;
+    k_racy : bool;
+    k_program : unit -> unit;
+  }
+
+  let sync_name = function Fence -> "fence" | Lock_all -> "lockall" | Flush_only -> "flush"
+
+  let locality_name = function Remote -> "remote" | Local_buffer -> "local"
+
+  (* Every kernel runs on three ranks over one 64-byte window owned by
+     rank 0; the conflicting location is window displacement 8 unless
+     the kernel is about an origin-side local buffer. Rank roles mirror
+     the RMARaceBench suites: rank 0 is the target, ranks 1 and 2 are
+     origins. *)
+  let window_bytes = 64
+
+  let conflict_disp = 8
+
+  let disjoint_disp = 24
+
+  let loc line op = Mpi.loc ~file:"kernel.c" ~line op
+
+  (* Passive target: every rank opens one lock_all epoch; [body] runs
+     inside it and receives the window and this rank's scratch origin
+     buffer. *)
+  let with_lock_all body () =
+    let rank = Mpi.comm_rank () in
+    let base = Mpi.alloc ~label:"window" ~exposed:true window_bytes in
+    let buf = Mpi.alloc ~label:"origin" ~exposed:true 8 in
+    let win = Mpi.win_create ~base ~size:window_bytes in
+    Mpi.win_lock_all win;
+    body ~rank ~win ~base ~buf;
+    Mpi.win_unlock_all win;
+    Mpi.win_free win
+
+  (* Active target: [epochs] is a list of phases separated by fences. *)
+  let with_fences epochs () =
+    let rank = Mpi.comm_rank () in
+    let base = Mpi.alloc ~label:"window" ~exposed:true window_bytes in
+    let buf = Mpi.alloc ~label:"origin" ~exposed:true 8 in
+    let win = Mpi.win_create ~base ~size:window_bytes in
+    Mpi.win_fence win;
+    List.iter
+      (fun phase ->
+        phase ~rank ~win ~base ~buf;
+        Mpi.win_fence win)
+      epochs;
+    Mpi.win_free win
+
+  let put ~line ~disp win buf = Mpi.put ~loc:(loc line "MPI_Put") win ~target:0 ~target_disp:disp ~origin_addr:buf ~len:8
+
+  let get ~line ~disp win buf = Mpi.get ~loc:(loc line "MPI_Get") win ~target:0 ~target_disp:disp ~origin_addr:buf ~len:8
+
+  let accumulate ~line ~disp win buf =
+    Mpi.accumulate ~loc:(loc line "MPI_Accumulate") win ~target:0 ~target_disp:disp
+      ~origin_addr:buf ~len:8 ~op:Mpi_sim.Runtime.Sum
+
+  let all =
+    [
+      ( "conflict_put_put",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then put ~line:11 ~disp:conflict_disp win buf;
+            if rank = 2 then put ~line:12 ~disp:conflict_disp win buf) );
+      ( "disjoint_put_put",
+        Lock_all,
+        Remote,
+        false,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then put ~line:11 ~disp:conflict_disp win buf;
+            if rank = 2 then put ~line:12 ~disp:disjoint_disp win buf) );
+      (* Remote put vs the target's own load of the same location in the
+         same passive epoch. *)
+      ( "nosync_put_load",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base ~buf ->
+            if rank = 1 then put ~line:11 ~disp:conflict_disp win buf;
+            if rank = 0 then
+              ignore (Mpi.load ~loc:(loc 13 "Load") ~addr:(base + conflict_disp) ~len:8 ())) );
+      (* The same pair separated by a fence: the put's epoch is closed
+         (and the window trees cleared) before the target reads. *)
+      ( "sync_put_load",
+        Fence,
+        Remote,
+        false,
+        with_fences
+          [
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 1 then put ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win:_ ~base ~buf:_ ->
+              if rank = 0 then
+                ignore (Mpi.load ~loc:(loc 13 "Load") ~addr:(base + conflict_disp) ~len:8 ()));
+          ] );
+      (* A get writes its origin buffer; storing to that buffer before
+         the epoch closes races with the get's deferred completion. *)
+      ( "get_store_buffer",
+        Lock_all,
+        Local_buffer,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              get ~line:11 ~disp:conflict_disp win buf;
+              Mpi.store ~loc:(loc 12 "Store") ~addr:buf (Bytes.make 8 'k')
+            end) );
+      (* Program order protects a local access followed by an RMA call
+         of the same process (the Figure 3 exception): safe. *)
+      ( "store_get_buffer",
+        Lock_all,
+        Local_buffer,
+        false,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              Mpi.store ~loc:(loc 11 "Store") ~addr:buf (Bytes.make 8 'k');
+              get ~line:12 ~disp:conflict_disp win buf
+            end) );
+      (* Concurrent accumulates are element-atomic (§2.1): safe even on
+         the same location. *)
+      ( "acc_acc_atomic",
+        Fence,
+        Remote,
+        false,
+        with_fences
+          [
+            (fun ~rank ~win ~base:_ ~buf ->
+              if rank = 1 then accumulate ~line:11 ~disp:conflict_disp win buf;
+              if rank = 2 then accumulate ~line:12 ~disp:conflict_disp win buf);
+          ] );
+      (* Mixing an accumulate with a plain put loses the atomicity
+         guarantee: race. *)
+      ( "acc_put_mixed",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then accumulate ~line:11 ~disp:conflict_disp win buf;
+            if rank = 2 then put ~line:12 ~disp:conflict_disp win buf) );
+      (* MPI_Win_flush_all only orders the CALLER's operations; it does
+         not synchronise other origins, so the conflict stands (§6(2)). *)
+      ( "flush_put_put",
+        Flush_only,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              put ~line:11 ~disp:conflict_disp win buf;
+              Mpi.win_flush_all ~loc:(loc 12 "MPI_Win_flush_all") win
+            end;
+            if rank = 2 then put ~line:13 ~disp:conflict_disp win buf) );
+      (* Two puts to the same location in different fence epochs: the
+         fence separates them. *)
+      ( "epoch_put_put",
+        Fence,
+        Remote,
+        false,
+        with_fences
+          [
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 1 then put ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 2 then put ~line:12 ~disp:conflict_disp win buf);
+          ] );
+      (* Concurrent reads of one location from two origins: safe. *)
+      ( "get_get_read",
+        Lock_all,
+        Remote,
+        false,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then get ~line:11 ~disp:conflict_disp win buf;
+            if rank = 2 then get ~line:12 ~disp:conflict_disp win buf) );
+      (* The Code 2 shape inside a real run: a loop of adjacent one-byte
+         gets into consecutive origin-buffer bytes (and consecutive
+         window bytes). Safe, and the insert fast path's best case. *)
+      ( "adjacent_get_loop",
+        Lock_all,
+        Local_buffer,
+        false,
+        (fun () ->
+          let rank = Mpi.comm_rank () in
+          let base = Mpi.alloc ~label:"window" ~exposed:true window_bytes in
+          let buf = Mpi.alloc ~label:"dest" ~exposed:true window_bytes in
+          let win = Mpi.win_create ~base ~size:window_bytes in
+          Mpi.win_lock_all win;
+          if rank = 1 then
+            for i = 0 to window_bytes - 1 do
+              Mpi.get ~loc:(loc 11 "MPI_Get") win ~target:0 ~target_disp:i
+                ~origin_addr:(buf + i) ~len:1
+            done;
+          Mpi.win_unlock_all win;
+          Mpi.win_free win) );
+    ]
+    |> List.map (fun (stem, k_sync, k_locality, k_racy, k_program) ->
+           {
+             k_name =
+               Printf.sprintf "rrb_%s_%s_%s_%s" (sync_name k_sync) (locality_name k_locality)
+                 stem
+                 (if k_racy then "race" else "safe");
+             k_sync;
+             k_locality;
+             k_nprocs = 3;
+             k_racy;
+             k_program;
+           })
+
+  let find name = List.find_opt (fun k -> String.equal k.k_name name) all
+end

@@ -88,3 +88,36 @@ val expected_must_false_negatives : t list
     storage. *)
 
 val find : string -> t option
+
+(** {1 RMARaceBench-shaped kernels}
+
+    A small labeled corpus in the style of Jammer et al.'s RMARaceBench:
+    complete three-rank MPI programs (not access-pair combinations like
+    the 154-code suite above) covering remote/local conflicts, race and
+    no-race variants, and lock/fence/flush synchronisation. Ground-truth
+    labels let tests assert that a detector — with or without the
+    disjoint store's insert batching — reproduces every verdict. *)
+module Kernel : sig
+  type sync = Fence | Lock_all | Flush_only
+
+  type locality =
+    | Remote  (** The conflicting location is in the target's window. *)
+    | Local_buffer  (** The conflicting location is an origin buffer. *)
+
+  type t = {
+    k_name : string;  (** e.g. [rrb_lockall_remote_conflict_put_put_race]. *)
+    k_sync : sync;
+    k_locality : locality;
+    k_nprocs : int;
+    k_racy : bool;  (** Ground truth. *)
+    k_program : unit -> unit;  (** The rank program (runs on every rank). *)
+  }
+
+  val sync_name : sync -> string
+  val locality_name : locality -> string
+
+  val all : t list
+  (** The full corpus; every kernel wants [k_nprocs] ranks. *)
+
+  val find : string -> t option
+end

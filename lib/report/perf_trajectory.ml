@@ -121,7 +121,7 @@ let contains_sub ~sub s =
 let lower_is_better metric =
   List.exists
     (fun sub -> contains_sub ~sub metric)
-    [ "seconds"; "time"; "_ns"; "nodes"; "dropped"; "_fp"; "_fn" ]
+    [ "seconds"; "time"; "_ns"; "nodes"; "dropped"; "_fp"; "_fn"; "_ops" ]
 
 (* Wall times below this are scheduling noise at CI scale; never flag
    them. *)

@@ -38,6 +38,25 @@ val stab : t -> Interval.t -> Access.t list
     lower-bound order. Uses the max-upper-bound augmentation, so it is
     exact. *)
 
+type clearance =
+  | Blocked
+      (** Some stored byte lies within one byte of the query (or the
+          single-descent answer could not be certified). *)
+  | Clear of { pred_hi : int; succ_lo : int }
+      (** No stored byte within one byte of the query: every stored byte
+          left of it is [<= pred_hi] and every stored byte right of it
+          is [>= succ_lo] ([min_int]/[max_int] when that side is
+          empty). *)
+
+val clearance : t -> Interval.t -> clearance
+(** Single-descent gap query around the one-byte-widened query window;
+    conservative ([Blocked]) whenever certifying the gap would need a
+    second path. Used by the disjoint store's insert fast path. *)
+
+val ops : t -> int
+(** Cumulative count of tree operations (descents): [insert], [remove],
+    [stab], [search_path] and [clearance] each count one. *)
+
 val search_path : t -> Access.t -> Access.t list
 (** The accesses on the BST descent from the root towards [query]'s
     insertion slot (inclusive of every node compared against), in

@@ -1,39 +1,146 @@
 open Rma_access
 module Obs = Rma_obs.Obs
 
+(* A pending entry of the insert fast path: one coalesced run of
+   adjacent mergeable accesses held OUT of the AVL tree, exactly the
+   node the unbatched store would hold for the same stream. The entry
+   owns an open "clear zone" (p_zone_lo, p_zone_hi) certified to contain
+   no tree byte, so extending the run inside the zone needs no tree
+   descent at all. *)
+type pending = {
+  mutable p_acc : Access.t;
+  mutable p_zone_lo : int;  (* exclusive lower edge of the clear zone *)
+  mutable p_zone_hi : int;  (* exclusive upper edge of the clear zone *)
+}
+
 type t = {
   tree : Avl.t;
   order_aware : bool;
   merge : bool;
+  fast_path : bool;
+      (* Finger cache enabled; forced off when [merge = false] because
+         the fast path IS a merge. *)
   recorder : Flight_recorder.t option;
       (* Present iff Flight_recorder.is_enabled () held at creation; the
          disabled cost is this option match per insert. *)
+  mutable batching : bool;
+  mutable pending : pending list;  (* most recently touched first *)
   mutable peak_nodes : int;
   mutable inserts : int;
   mutable fragments_created : int;
   mutable merges_performed : int;
   mutable race_checks : int;
+  mutable finger_hits : int;
+  mutable batch_coalesced : int;
+  mutable batch_flushes : int;
 }
 
-let create ?(order_aware = true) ?(merge = true) () =
+(* How far beyond the access a clear zone may be claimed. A cap keeps a
+   zone claim from spanning a huge empty tree (which would force a flush
+   on every far-away insert); large enough that a Code 2 style run grows
+   for thousands of bytes per claim. *)
+let zone_headroom = 4096
+
+let batch_default =
+  ref
+    (match Sys.getenv_opt "RMA_BATCH_INSERTS" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | _ -> false)
+
+let set_batch_default v = batch_default := v
+
+let batch_default_enabled () = !batch_default
+
+let create ?(order_aware = true) ?(merge = true) ?(fast_path = true) ?batch () =
+  let fast_path = fast_path && merge in
+  let batching = (match batch with Some b -> b | None -> !batch_default) && fast_path in
   {
     tree = Avl.create ();
     order_aware;
     merge;
+    fast_path;
     recorder = Flight_recorder.create ();
+    batching;
+    pending = [];
     peak_nodes = 0;
     inserts = 0;
     fragments_created = 0;
     merges_performed = 0;
     race_checks = 0;
+    finger_hits = 0;
+    batch_coalesced = 0;
+    batch_flushes = 0;
   }
 
 let recorder t = t.recorder
 
-let note_epoch t = match t.recorder with Some r -> Flight_recorder.note_epoch r | None -> ()
-
 let record_origin t access =
   match t.recorder with Some r -> Flight_recorder.record r access | None -> ()
+
+(* Effective store contents = tree nodes + pending runs. *)
+let size t = Avl.size t.tree + List.length t.pending
+
+let bump_peak t =
+  let s = size t in
+  if s > t.peak_nodes then t.peak_nodes <- s
+
+let capacity t = if t.batching then 8 else 1
+
+let obs_finger_hits =
+  Obs.counter ~help:"Inserts absorbed in O(1) by the finger cache (most recent pending run)"
+    "store.disjoint.finger_hits"
+
+let obs_batch_coalesced =
+  Obs.counter ~help:"Inserts coalesced into the pending buffer without touching the tree"
+    "store.disjoint.batch_coalesced"
+
+let obs_batch_flushes =
+  Obs.counter ~help:"Pending-buffer flushes into the AVL tree" "store.disjoint.batch_flushes"
+
+(* {2 Pending-buffer plumbing} *)
+
+(* The bytes of [iv] are about to become tree bytes: withdraw them from
+   every surviving zone claim. Pending entries never overlap each other,
+   so the flushed bytes sit entirely on one side of each survivor. *)
+let exclude_from_zones t iv =
+  List.iter
+    (fun q ->
+      if Interval.hi iv < Interval.lo q.p_acc.Access.interval then
+        q.p_zone_lo <- max q.p_zone_lo (Interval.hi iv)
+      else if Interval.lo iv > Interval.hi q.p_acc.Access.interval then
+        q.p_zone_hi <- min q.p_zone_hi (Interval.lo iv))
+    t.pending
+
+(* Pending runs are pairwise more than one byte apart and equally far
+   from every tree byte, so a plain multiset insert is exactly what the
+   unbatched store would hold — no fragmentation or merging can apply. *)
+let flush_entries t entries =
+  if entries <> [] then begin
+    t.batch_flushes <- t.batch_flushes + 1;
+    Obs.incr obs_batch_flushes;
+    List.iter
+      (fun p ->
+        Avl.insert t.tree p.p_acc;
+        exclude_from_zones t p.p_acc.Access.interval)
+      entries
+  end
+
+let flush_pending t =
+  let entries = t.pending in
+  t.pending <- [];
+  flush_entries t entries
+
+(* Flush exactly the entries whose clear zone the widened window [wlo,
+   whi] reaches into. Survivors' zones (hence bytes) lie entirely on one
+   side of the window, so the subsequent stab, race check and
+   fragmentation cannot involve them. *)
+let flush_interacting t ~wlo ~whi =
+  let interacts p = whi > p.p_zone_lo && wlo < p.p_zone_hi in
+  let hit, keep = List.partition interacts t.pending in
+  t.pending <- keep;
+  flush_entries t hit
+
+(* {2 Slow path — Algorithm 1 verbatim} *)
 
 (* get_intersecting_accesses (Algorithm 1 line 5), widened by one byte on
    each side so merging can also see accesses adjacent to the new one
@@ -61,9 +168,21 @@ let detect_race t access candidates =
     candidates
 
 let check_only t access =
+  flush_pending t;
   match detect_race t access (Avl.stab t.tree access.Access.interval) with
   | Some existing -> Store_intf.Race_detected { existing; incoming = access }
   | None -> Store_intf.Inserted
+
+let note_epoch t =
+  (* The pending buffer never crosses an epoch boundary: epoch-close
+     node sampling and per-epoch recorder stamps must see the same tree
+     the unbatched store would. *)
+  flush_pending t;
+  match t.recorder with Some r -> Flight_recorder.note_epoch r | None -> ()
+
+let batch_begin t = if t.fast_path then t.batching <- true
+
+let batch_flush t = flush_pending t
 
 (* fragment_accesses (line 6, §4.1) and merge_accesses (line 7, §4.2)
    live in the shared Fragmenter module. *)
@@ -77,27 +196,14 @@ let merge_pieces t pieces =
   t.merges_performed <- t.merges_performed + merges;
   merged
 
-let obs_insert_seconds =
-  Obs.histogram ~help:"Wall time of one Disjoint_store.insert (Algorithm 1)"
-    "store.disjoint.insert_seconds"
-
-let obs_fragments =
-  Obs.histogram ~unit_:"count" ~help:"Fragments created per insert (section 4.1)"
-    "store.disjoint.fragments_per_insert"
-
-let obs_merges =
-  Obs.histogram ~unit_:"count" ~help:"Node pairs merged per insert (section 4.2)"
-    "store.disjoint.merges_per_insert"
-
-let insert_uninstrumented t access =
-  t.inserts <- t.inserts + 1;
+let slow_insert t access =
   let candidates = neighbourhood t access in
   match candidates with
   | [] ->
-      (* Fast path: nothing overlaps or touches — plain insertion. *)
+      (* Nothing overlaps or touches — plain insertion. *)
       record_origin t access;
       Avl.insert t.tree access;
-      if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
+      bump_peak t;
       Store_intf.Inserted
   | _ -> (
       match detect_race t access candidates with
@@ -110,8 +216,110 @@ let insert_uninstrumented t access =
              new disjoint pieces. *)
           List.iter (fun old -> ignore (Avl.remove t.tree old)) candidates;
           List.iter (fun piece -> Avl.insert t.tree piece) final;
-          if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
+          bump_peak t;
           Store_intf.Inserted)
+
+(* {2 Fast path} *)
+
+(* O(1) coalesce: extend a pending run with a strictly adjacent
+   mergeable access. Requires the widened window to sit inside the run's
+   clear zone (no tree byte can be involved) and away from every other
+   pending run (no cross-run fragmentation or merging can apply), which
+   makes the result byte-for-byte what the slow path would produce:
+   pass_through + emit + merge, i.e. one fragment and one merge. *)
+let try_coalesce t access =
+  match t.pending with
+  | [] -> None
+  | pending ->
+      let iv = access.Access.interval in
+      let wlo = Interval.lo iv - 1 and whi = Interval.hi iv + 1 in
+      let window = Interval.make ~lo:wlo ~hi:whi in
+      let extends p =
+        Access.mergeable p.p_acc access
+        && Interval.adjacent p.p_acc.Access.interval iv
+        && wlo > p.p_zone_lo && whi < p.p_zone_hi
+      in
+      let rec scan before = function
+        | [] -> None
+        | p :: rest ->
+            if extends p then
+              if
+                List.exists
+                  (fun q -> q != p && Interval.overlaps q.p_acc.Access.interval window)
+                  pending
+              then None (* another pending run is within reach: slow path *)
+              else Some (p, List.rev_append before rest, before = [])
+            else scan (p :: before) rest
+      in
+      scan [] pending
+
+let apply_coalesce t access (p, others, was_head) =
+  record_origin t access;
+  p.p_acc <-
+    Access.with_interval
+      (Access.most_recent p.p_acc access)
+      (Interval.hull p.p_acc.Access.interval access.Access.interval);
+  t.pending <- p :: others;
+  t.fragments_created <- t.fragments_created + 1;
+  t.merges_performed <- t.merges_performed + 1;
+  t.batch_coalesced <- t.batch_coalesced + 1;
+  Obs.incr obs_batch_coalesced;
+  if was_head then begin
+    t.finger_hits <- t.finger_hits + 1;
+    Obs.incr obs_finger_hits
+  end;
+  Store_intf.Inserted
+
+(* Start a new pending run with one clearance descent instead of the
+   slow path's stab (and, on later extensions, remove + insert).
+   Precondition: no pending byte intersects the widened window — callers
+   run [flush_interacting] first, which guarantees it because every
+   pending byte lives strictly inside its entry's zone. *)
+let try_seed t access =
+  match Avl.clearance t.tree access.Access.interval with
+  | Avl.Blocked -> false
+  | Avl.Clear { pred_hi; succ_lo } ->
+      let iv = access.Access.interval in
+      let lo = Interval.lo iv and hi = Interval.hi iv in
+      (* Claim at most [zone_headroom] bytes each way, and never claim
+         bytes owned by another pending run. *)
+      let zl, zh =
+        List.fold_left
+          (fun (zl, zh) q ->
+            let qiv = q.p_acc.Access.interval in
+            if Interval.hi qiv < lo then (max zl (Interval.hi qiv), zh)
+            else (zl, min zh (Interval.lo qiv)))
+          (max pred_hi (lo - 1 - zone_headroom), min succ_lo (hi + 1 + zone_headroom))
+          t.pending
+      in
+      if List.length t.pending >= capacity t then flush_pending t;
+      record_origin t access;
+      t.pending <- { p_acc = access; p_zone_lo = zl; p_zone_hi = zh } :: t.pending;
+      bump_peak t;
+      true
+
+let insert_uninstrumented t access =
+  t.inserts <- t.inserts + 1;
+  if not t.fast_path then slow_insert t access
+  else
+    match try_coalesce t access with
+    | Some hit -> apply_coalesce t access hit
+    | None ->
+        let iv = access.Access.interval in
+        flush_interacting t ~wlo:(Interval.lo iv - 1) ~whi:(Interval.hi iv + 1);
+        if try_seed t access then Store_intf.Inserted else slow_insert t access
+
+let obs_insert_seconds =
+  Obs.histogram ~help:"Wall time of one Disjoint_store.insert (Algorithm 1)"
+    "store.disjoint.insert_seconds"
+
+let obs_fragments =
+  Obs.histogram ~unit_:"count" ~help:"Fragments created per insert (section 4.1)"
+    "store.disjoint.fragments_per_insert"
+
+let obs_merges =
+  Obs.histogram ~unit_:"count" ~help:"Node pairs merged per insert (section 4.2)"
+    "store.disjoint.merges_per_insert"
 
 let insert t access =
   if not (Obs.is_enabled ()) then insert_uninstrumented t access
@@ -125,22 +333,65 @@ let insert t access =
     outcome
   end
 
-let size t = Avl.size t.tree
-
 let stats t =
   {
-    Store_intf.nodes = Avl.size t.tree;
+    Store_intf.nodes = size t;
     peak_nodes = t.peak_nodes;
     inserts = t.inserts;
     fragments_created = t.fragments_created;
     merges_performed = t.merges_performed;
     race_checks = t.race_checks;
+    tree_ops = Avl.ops t.tree;
   }
 
-let to_list t = Avl.to_list t.tree
+type fast_path_stats = { finger_hits : int; batch_coalesced : int; batch_flushes : int }
+
+let fast_path_stats (t : t) =
+  {
+    finger_hits = t.finger_hits;
+    batch_coalesced = t.batch_coalesced;
+    batch_flushes = t.batch_flushes;
+  }
+
+let batching t = t.batching
+
+let to_list t =
+  let by_lo a b = Interval.compare_lo a.Access.interval b.Access.interval in
+  let pend = List.sort by_lo (List.map (fun p -> p.p_acc) t.pending) in
+  List.merge by_lo (Avl.to_list t.tree) pend
 
 let clear t =
+  (* End of epoch: pending runs are discarded with the tree, never
+     flushed into it — statistics stay cumulative either way. *)
+  t.pending <- [];
   Avl.clear t.tree;
   match t.recorder with Some r -> Flight_recorder.clear r | None -> ()
 
-let pp fmt t = Avl.pp fmt t.tree
+let self_check t =
+  let open_zone_clear p =
+    p.p_zone_lo >= p.p_zone_hi - 1
+    || Avl.stab t.tree (Interval.make ~lo:(p.p_zone_lo + 1) ~hi:(p.p_zone_hi - 1)) = []
+  in
+  let inside_zone p =
+    let iv = p.p_acc.Access.interval in
+    p.p_zone_lo < Interval.lo iv && Interval.hi iv < p.p_zone_hi
+  in
+  let rec pairwise_apart = function
+    | [] -> true
+    | p :: rest ->
+        List.for_all
+          (fun q ->
+            let a = p.p_acc.Access.interval and b = q.p_acc.Access.interval in
+            (not (Interval.overlaps a b)) && not (Interval.adjacent a b))
+          rest
+        && pairwise_apart rest
+  in
+  List.length t.pending <= capacity t
+  && List.for_all inside_zone t.pending
+  && List.for_all open_zone_clear t.pending
+  && pairwise_apart t.pending
+  && Avl.invariants_ok t.tree
+
+let pp fmt t =
+  Avl.pp fmt t.tree;
+  List.iter (fun p -> Format.fprintf fmt "pending %a@." Access.pp p.p_acc) t.pending

@@ -21,9 +21,13 @@ module Make (Elt : ELEMENT) = struct
     max_hi : int;
   }
 
-  type t = { mutable root : node option; mutable count : int }
+  type t = { mutable root : node option; mutable count : int; mutable ops : int }
 
-  let create () = { root = None; count = 0 }
+  let create () = { root = None; count = 0; ops = 0 }
+
+  let ops t = t.ops
+
+  let touch t = t.ops <- t.ops + 1
 
   let size t = t.count
 
@@ -85,6 +89,7 @@ module Make (Elt : ELEMENT) = struct
         rebalance next
 
   let insert t elt =
+    touch t;
     t.root <- Some (insert_node t.root elt);
     t.count <- t.count + 1
 
@@ -115,12 +120,14 @@ module Make (Elt : ELEMENT) = struct
         end
 
   let remove t elt =
+    touch t;
     let removed = ref false in
     t.root <- remove_node t.root elt ~removed;
     if !removed then t.count <- t.count - 1;
     !removed
 
   let stab t query =
+    touch t;
     let rec go node acc =
       match node with
       | None -> acc
@@ -141,7 +148,39 @@ module Make (Elt : ELEMENT) = struct
     in
     go t.root []
 
+  type clearance = Blocked | Clear of { pred_hi : int; succ_lo : int }
+
+  (* Single root-to-leaf descent answering "is the one-byte-widened
+     window around [query] free of stored bytes, and how far does the
+     surrounding gap extend?". Abandoning a subtree on the left requires
+     its cached max_hi to stay left of the window, which also makes the
+     answer conservatively [Blocked] on trees that are not disjoint. *)
+  let clearance t query =
+    touch t;
+    let wlo = Interval.lo query - 1 and whi = Interval.hi query + 1 in
+    let rec go node pred_hi succ_lo =
+      match node with
+      | None -> Clear { pred_hi; succ_lo }
+      | Some n ->
+          let iv = Elt.interval n.elt in
+          if Interval.hi iv < wlo then begin
+            (* The node and its whole left subtree stay left of the
+               window — unless some left descendant reaches into it, in
+               which case the single-path answer would be wrong. *)
+            let abandoned_hi = max (Interval.hi iv) (max_hi_of n.left) in
+            if abandoned_hi >= wlo then Blocked
+            else go n.right (max pred_hi abandoned_hi) succ_lo
+          end
+          else if Interval.lo iv > whi then
+            (* Node and right subtree are right of the window; the
+               node's own lower bound is the closest of them. *)
+            go n.left pred_hi (min succ_lo (Interval.lo iv))
+          else Blocked
+    in
+    go t.root min_int max_int
+
   let search_path t query =
+    touch t;
     let rec go node acc =
       match node with
       | None -> List.rev acc

@@ -45,6 +45,26 @@ module Make (Elt : ELEMENT) : sig
       increasing lower-bound order; exact thanks to the max-upper-bound
       augmentation. *)
 
+  type clearance =
+    | Blocked
+        (** Some stored byte lies within one byte of the query (or the
+            single-descent answer could not be certified). *)
+    | Clear of { pred_hi : int; succ_lo : int }
+        (** No stored byte within one byte of the query: every stored
+            byte left of it is [<= pred_hi] and every stored byte right
+            of it is [>= succ_lo] ([min_int]/[max_int] when that side is
+            empty). *)
+
+  val clearance : t -> Interval.t -> clearance
+  (** Single-descent gap query around the one-byte-widened query window;
+      conservative ([Blocked]) whenever certifying the gap would need a
+      second path. Used by the disjoint store's insert fast path. *)
+
+  val ops : t -> int
+  (** Cumulative count of tree operations (descents): [insert],
+      [remove], [stab], [search_path] and [clearance] each count one.
+      The currency of the fast-path benchmarks. *)
+
   val search_path : t -> Elt.t -> Elt.t list
   (** The elements on the plain BST descent from the root towards the
       query's insertion slot, in descent order — the only part of the

@@ -62,6 +62,7 @@ let stats t =
     fragments_created = 0;
     merges_performed = 0;
     race_checks = t.race_checks;
+    tree_ops = Avl.ops t.tree;
   }
 
 let to_list t = Avl.to_list t.tree

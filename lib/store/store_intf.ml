@@ -16,10 +16,22 @@ type stats = {
   fragments_created : int;  (** Pieces produced by fragmentation (§4.1). *)
   merges_performed : int;  (** Node pairs coalesced by merging (§4.2). *)
   race_checks : int;  (** Pairwise access comparisons during detection. *)
+  tree_ops : int;
+      (** Interval-tree descents performed (inserts, removes, stabs,
+          search paths, clearance probes) — the cost the disjoint
+          store's insert fast path exists to cut. *)
 }
 
 let zero_stats =
-  { nodes = 0; peak_nodes = 0; inserts = 0; fragments_created = 0; merges_performed = 0; race_checks = 0 }
+  {
+    nodes = 0;
+    peak_nodes = 0;
+    inserts = 0;
+    fragments_created = 0;
+    merges_performed = 0;
+    race_checks = 0;
+    tree_ops = 0;
+  }
 
 module type S = sig
   type t

@@ -232,6 +232,7 @@ let stats t =
     fragments_created = t.fragments_created;
     merges_performed = t.merges_performed;
     race_checks = t.race_checks;
+    tree_ops = Tree.ops t.tree;
   }
 
 let regions t = Tree.to_list t.tree

@@ -16,6 +16,7 @@ let () =
       ("strided", Test_strided.suite);
       ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
+      ("differential", Test_differential.suite);
       ("oracle", Test_oracle.suite);
       ("graph500", Test_graph500.suite);
       ("memory", Test_memory.suite);

@@ -1,0 +1,216 @@
+(* ISSUE 3: property-based differential harness for the disjoint store's
+   insert fast path.
+
+   Random access streams — interleaved inserts, mid-stream race checks,
+   epoch notes, buffer flushes and window clears — are replayed against
+   three configurations of [Disjoint_store]:
+
+   - the reference: [~fast_path:false], Algorithm 1 against the tree on
+     every insert;
+   - the finger cache (default creation, one pending run);
+   - the coalescing batch buffer ([~batch:true], several pending runs);
+
+   asserting identical per-step race verdicts (same existing/incoming
+   accesses), identical final interval sets, identical node counts and
+   identical Algorithm 1 statistics, with the fast-path invariants
+   ([Disjoint_store.self_check]) holding after every step. A second
+   property checks [Legacy_store] agreement on the stream class where
+   the paper predicts it (identical-interval, RMA-only accesses: no
+   Figure 5a off-path misses, no order-sensitivity false positives, no
+   accumulate atomicity). *)
+
+open Rma_access
+open Rma_store
+
+let acc ~issuer ~seq ~line ~lo ~hi kind =
+  Access.make
+    ~interval:(Interval.make ~lo ~hi)
+    ~kind ~issuer ~seq
+    ~debug:(Debug_info.make ~file:"diff.c" ~line ~operation:"op")
+
+(* --- step language --- *)
+
+type step =
+  | Insert of Access.t
+  | Check of Access.t
+  | Note_epoch
+  | Batch_flush
+  | Clear
+
+let decode_steps raw =
+  List.mapi
+    (fun i (t, lo, len, k, x) ->
+      let kind = List.nth Access_kind.all (k mod 5) in
+      let issuer = if Access_kind.is_local kind then 0 else x mod 3 in
+      let line = 1 + (t mod 4) in
+      let a = acc ~issuer ~seq:(i + 1) ~line ~lo ~hi:(lo + len - 1) kind in
+      match t mod 12 with
+      | 9 -> Check a
+      | 10 -> if x mod 2 = 0 then Note_epoch else Batch_flush
+      | 11 when x mod 4 = 0 -> Clear
+      | _ -> Insert a)
+    raw
+
+let step_gen =
+  QCheck.Gen.(
+    let* t = int_range 0 1000 in
+    let* lo = int_range 0 96 in
+    let* len = int_range 1 8 in
+    let* k = int_range 0 1000 in
+    let* x = int_range 0 1000 in
+    return (t, lo, len, k, x))
+
+let print_raw l =
+  String.concat ";"
+    (List.map (fun (t, lo, len, k, x) -> Printf.sprintf "(%d,%d,%d,%d,%d)" t lo len k x) l)
+
+let arb_stream =
+  QCheck.make ~print:print_raw
+    ~shrink:QCheck.Shrink.(list)
+    QCheck.Gen.(list_size (int_range 1 50) step_gen)
+
+(* --- replay --- *)
+
+type verdict = V_inserted | V_race of Access.t * Access.t | V_quiet
+
+let verdict_of = function
+  | Store_intf.Inserted -> V_inserted
+  | Store_intf.Race_detected { existing; incoming } -> V_race (existing, incoming)
+
+let verdict_equal a b =
+  match (a, b) with
+  | V_inserted, V_inserted | V_quiet, V_quiet -> true
+  | V_race (e1, i1), V_race (e2, i2) -> Access.equal e1 e2 && Access.equal i1 i2
+  | _ -> false
+
+let verdict_str = function
+  | V_inserted -> "inserted"
+  | V_quiet -> "quiet"
+  | V_race (e, i) -> Format.asprintf "race(%a vs %a)" Access.pp e Access.pp i
+
+(* Replays [steps] on [store], checking [self_check] after every step,
+   and returns the per-step verdicts. *)
+let replay store steps =
+  List.map
+    (fun step ->
+      let v =
+        match step with
+        | Insert a -> verdict_of (Disjoint_store.insert store a)
+        | Check a -> verdict_of (Disjoint_store.check_only store a)
+        | Note_epoch ->
+            Disjoint_store.note_epoch store;
+            V_quiet
+        | Batch_flush ->
+            Disjoint_store.batch_flush store;
+            V_quiet
+        | Clear ->
+            Disjoint_store.clear store;
+            V_quiet
+      in
+      if not (Disjoint_store.self_check store) then
+        QCheck.Test.fail_reportf "fast-path invariants violated after a step";
+      v)
+    steps
+
+let final_state store =
+  Disjoint_store.batch_flush store;
+  let stats = Disjoint_store.stats store in
+  (Disjoint_store.to_list store, stats)
+
+let check_against_reference ~name reference_verdicts ref_state store_verdicts store_state =
+  List.iteri
+    (fun i (vr, vs) ->
+      if not (verdict_equal vr vs) then
+        QCheck.Test.fail_reportf "%s: step %d verdict differs: reference %s, got %s" name i
+          (verdict_str vr) (verdict_str vs))
+    (List.combine reference_verdicts store_verdicts);
+  let ref_list, ref_stats = ref_state and got_list, got_stats = store_state in
+  if not (List.equal Access.equal ref_list got_list) then
+    QCheck.Test.fail_reportf "%s: final interval sets differ (%d vs %d nodes)" name
+      (List.length ref_list) (List.length got_list);
+  let open Store_intf in
+  let pairs =
+    [
+      ("nodes", ref_stats.nodes, got_stats.nodes);
+      ("peak_nodes", ref_stats.peak_nodes, got_stats.peak_nodes);
+      ("inserts", ref_stats.inserts, got_stats.inserts);
+      ("fragments_created", ref_stats.fragments_created, got_stats.fragments_created);
+      ("merges_performed", ref_stats.merges_performed, got_stats.merges_performed);
+      ("race_checks", ref_stats.race_checks, got_stats.race_checks);
+    ]
+  in
+  List.iter
+    (fun (what, a, b) ->
+      if a <> b then QCheck.Test.fail_reportf "%s: %s differ: reference %d, got %d" name what a b)
+    pairs
+
+let prop_batched_equals_unbatched =
+  QCheck.Test.make ~name:"differential: batched = unbatched disjoint store" ~count:700 arb_stream
+    (fun raw ->
+      let steps = decode_steps raw in
+      let reference = Disjoint_store.create ~fast_path:false () in
+      let ref_verdicts = replay reference steps in
+      let ref_state = final_state reference in
+      let finger = Disjoint_store.create ~batch:false () in
+      let finger_verdicts = replay finger steps in
+      check_against_reference ~name:"finger" ref_verdicts ref_state finger_verdicts
+        (final_state finger);
+      let batched = Disjoint_store.create ~batch:true () in
+      let batched_verdicts = replay batched steps in
+      check_against_reference ~name:"batched" ref_verdicts ref_state batched_verdicts
+        (final_state batched);
+      true)
+
+(* --- legacy agreement --- *)
+
+(* Identical-interval RMA-only streams: the legacy search path always
+   contains the most recent node, every access pair is order-insensitive
+   and the Table 1 dominance rule loses nothing detection-relevant, so
+   the paper predicts verdict-for-verdict agreement (node counts still
+   differ — that is Figure 8). *)
+let legacy_raw_gen =
+  QCheck.Gen.(
+    let* w = int_range 0 1 in
+    let* x = int_range 0 1000 in
+    return (w, x))
+
+let arb_legacy_stream =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (w, x) -> Printf.sprintf "(%d,%d)" w x) l))
+    ~shrink:QCheck.Shrink.(list)
+    QCheck.Gen.(list_size (int_range 1 40) legacy_raw_gen)
+
+let prop_legacy_agreement =
+  QCheck.Test.make ~name:"differential: legacy agreement on RMA-only same-interval streams"
+    ~count:400 arb_legacy_stream (fun raw ->
+      let accesses =
+        List.mapi
+          (fun i (w, x) ->
+            let kind = if w = 0 then Access_kind.Rma_read else Access_kind.Rma_write in
+            acc ~issuer:(x mod 3) ~seq:(i + 1) ~line:1 ~lo:16 ~hi:23 kind)
+          raw
+      in
+      let legacy = Legacy_store.create () in
+      let unbatched = Disjoint_store.create ~fast_path:false () in
+      let batched = Disjoint_store.create ~batch:true () in
+      List.iter
+        (fun a ->
+          let flagged outcome =
+            match outcome with Store_intf.Inserted -> false | Store_intf.Race_detected _ -> true
+          in
+          let vl = flagged (Legacy_store.insert legacy a) in
+          let vu = flagged (Disjoint_store.insert unbatched a) in
+          let vb = flagged (Disjoint_store.insert batched a) in
+          if vl <> vu || vl <> vb then
+            QCheck.Test.fail_reportf "verdicts diverge on %s: legacy %b unbatched %b batched %b"
+              (Format.asprintf "%a" Access.pp a)
+              vl vu vb)
+        accesses;
+      true)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_batched_equals_unbatched;
+    QCheck_alcotest.to_alcotest prop_legacy_agreement;
+  ]

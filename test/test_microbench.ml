@@ -208,3 +208,75 @@ let suite =
       Alcotest.test_case "C source emission" `Quick test_c_source_emission;
       Alcotest.test_case "C source stack marker" `Quick test_c_source_stack_marker;
     ]
+
+(* --- RMARaceBench-shaped kernel corpus (ISSUE 3) --- *)
+
+let kernel_tool ~nprocs ~batch () =
+  Rma_analyzer.create ~nprocs ~mode:Tool.Collect ~batch_inserts:batch Rma_analyzer.Contribution
+
+let test_kernel_corpus_shape () =
+  let kernels = Scenario.Kernel.all in
+  Alcotest.(check bool) "at least 10 kernels" true (List.length kernels >= 10);
+  let names = List.map (fun k -> k.Scenario.Kernel.k_name) kernels in
+  Alcotest.(check int) "kernel names unique"
+    (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  let has pred = List.exists pred kernels in
+  let open Scenario.Kernel in
+  Alcotest.(check bool) "has racy kernels" true (has (fun k -> k.k_racy));
+  Alcotest.(check bool) "has safe kernels" true (has (fun k -> not k.k_racy));
+  Alcotest.(check bool) "has fence sync" true (has (fun k -> k.k_sync = Fence));
+  Alcotest.(check bool) "has lock sync" true (has (fun k -> k.k_sync = Lock_all));
+  Alcotest.(check bool) "has flush sync" true (has (fun k -> k.k_sync = Flush_only));
+  Alcotest.(check bool) "has remote conflicts" true (has (fun k -> k.k_locality = Remote));
+  Alcotest.(check bool) "has local-buffer conflicts" true
+    (has (fun k -> k.k_locality = Local_buffer))
+
+(* The table-driven label check: the analyzer must reproduce every
+   ground-truth verdict, with and without insert batching, and the two
+   modes must agree report for report. *)
+let test_kernel_labels () =
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      let run batch =
+        let tool = kernel_tool ~nprocs:k.k_nprocs ~batch () in
+        Runner.run_kernel ~tool k
+      in
+      let plain = run false and batched = run true in
+      Alcotest.(check bool) (k.k_name ^ " (unbatched)") k.k_racy plain.Runner.k_flagged;
+      Alcotest.(check bool) (k.k_name ^ " (batched)") k.k_racy batched.Runner.k_flagged;
+      Alcotest.(check int)
+        (k.k_name ^ " report count agrees")
+        (List.length plain.Runner.k_reports)
+        (List.length batched.Runner.k_reports);
+      List.iter2
+        (fun (a : Report.t) (b : Report.t) ->
+          Alcotest.(check bool)
+            (k.k_name ^ " report accesses agree")
+            true
+            (Rma_access.Access.equal a.Report.existing b.Report.existing
+            && Rma_access.Access.equal a.Report.incoming b.Report.incoming))
+        plain.Runner.k_reports batched.Runner.k_reports)
+    Scenario.Kernel.all
+
+let test_kernel_verdicts_stable_across_seeds () =
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      List.iter
+        (fun seed ->
+          let tool = kernel_tool ~nprocs:k.k_nprocs ~batch:true () in
+          let v = Runner.run_kernel ~seed ~tool k in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s seed %d" k.k_name seed)
+            k.k_racy v.Runner.k_flagged)
+        [ 1; 7; 42 ])
+    Scenario.Kernel.all
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "kernel corpus shape" `Quick test_kernel_corpus_shape;
+      Alcotest.test_case "kernel labels, batched and unbatched" `Quick test_kernel_labels;
+      Alcotest.test_case "kernel verdicts stable across seeds" `Slow
+        test_kernel_verdicts_stable_across_seeds;
+    ]

@@ -205,6 +205,154 @@ let test_dominance_absorption_imprecision () =
   expect_inserted "remote read slips through"
     (Disjoint_store.insert store (acc ~issuer:1 ~seq:3 ~line:3 ~op:"MPI_Get" 0 7 Access_kind.Rma_read))
 
+(* --- Insert fast path: finger cache and coalescing batch buffer. --- *)
+
+let adjacent_run ?(n = 8) ?(lo0 = 0) ?(line = 2) store =
+  for i = 0 to n - 1 do
+    expect_inserted "run access"
+      (Disjoint_store.insert store
+         (acc ~seq:(i + 1) ~line ~op:"MPI_Get" (lo0 + i) (lo0 + i) Access_kind.Rma_write))
+  done
+
+let test_finger_absorbs_adjacent_run () =
+  let store = Disjoint_store.create () in
+  adjacent_run ~n:8 store;
+  Alcotest.(check int) "one coalesced run" 1 (Disjoint_store.size store);
+  let s = Disjoint_store.fast_path_stats store in
+  Alcotest.(check int) "every extension is a finger hit" 7 s.Disjoint_store.finger_hits;
+  Alcotest.(check int) "every extension coalesced" 7 s.Disjoint_store.batch_coalesced;
+  Alcotest.(check bool) "fast-path invariants hold" true (Disjoint_store.self_check store)
+
+let test_overlap_after_run_flushes_and_races () =
+  (* Finger invalidation: an overlapping conflicting access after a
+     coalesced run must flush the pending entry and race against the
+     full hull, exactly as the unbatched store would. *)
+  let store = Disjoint_store.create () in
+  adjacent_run ~n:8 store;
+  (match Disjoint_store.insert store (acc ~seq:50 ~line:9 ~op:"Store" 3 3 Access_kind.Local_write) with
+  | Store_intf.Inserted -> Alcotest.fail "race against the pending run missed"
+  | Store_intf.Race_detected { existing; _ } ->
+      Alcotest.(check bool) "existing is the coalesced hull" true
+        (Interval.equal existing.Access.interval (Interval.make ~lo:0 ~hi:7)));
+  Alcotest.(check int) "run flushed, racy access not recorded" 1 (Disjoint_store.size store);
+  Alcotest.(check int) "one flush event" 1
+    (Disjoint_store.fast_path_stats store).Disjoint_store.batch_flushes;
+  Alcotest.(check bool) "fast-path invariants hold" true (Disjoint_store.self_check store)
+
+let test_clear_drops_pending_runs () =
+  let store = Disjoint_store.create ~batch:true () in
+  List.iter
+    (fun a -> expect_inserted "run" (Disjoint_store.insert store a))
+    [
+      acc ~seq:1 ~line:1 ~op:"MPI_Get" 0 0 Access_kind.Rma_write;
+      acc ~seq:2 ~line:1 ~op:"MPI_Get" 1 1 Access_kind.Rma_write;
+      acc ~seq:3 ~line:2 ~op:"MPI_Put" 5000 5007 Access_kind.Rma_read;
+    ];
+  Alcotest.(check int) "two pending runs" 2 (Disjoint_store.size store);
+  Disjoint_store.clear store;
+  Alcotest.(check int) "clear drops pending runs too" 0 (Disjoint_store.size store);
+  Alcotest.(check bool) "to_list is empty" true (Disjoint_store.to_list store = []);
+  Alcotest.(check bool) "fast-path invariants hold" true (Disjoint_store.self_check store);
+  expect_inserted "store usable after clear"
+    (Disjoint_store.insert store (acc ~seq:4 ~line:3 ~op:"MPI_Get" 9 9 Access_kind.Rma_write));
+  Alcotest.(check int) "fresh run" 1 (Disjoint_store.size store)
+
+let test_merge_off_disables_fast_path () =
+  (* [~merge:false] forces the fast path off — coalescing IS a merge —
+     so the ablation takes exactly the slow path, tree op for tree op. *)
+  let stream =
+    List.init 8 (fun i -> acc ~seq:(i + 1) ~line:2 ~op:"MPI_Get" i i Access_kind.Rma_write)
+  in
+  let feed store = List.iter (fun a -> ignore (Disjoint_store.insert store a)) stream in
+  let no_merge = Disjoint_store.create ~merge:false ~batch:true () in
+  feed no_merge;
+  Alcotest.(check bool) "batch request ignored without merging" false
+    (Disjoint_store.batching no_merge);
+  let s = Disjoint_store.fast_path_stats no_merge in
+  Alcotest.(check int) "no finger hits" 0 s.Disjoint_store.finger_hits;
+  Alcotest.(check int) "no coalesces" 0 s.Disjoint_store.batch_coalesced;
+  Alcotest.(check int) "no flushes" 0 s.Disjoint_store.batch_flushes;
+  Alcotest.(check int) "one node per access" 8 (Disjoint_store.size no_merge);
+  let slow = Disjoint_store.create ~merge:false ~fast_path:false () in
+  feed slow;
+  Alcotest.(check int) "tree op count matches the explicit slow path"
+    (Disjoint_store.stats slow).Store_intf.tree_ops
+    (Disjoint_store.stats no_merge).Store_intf.tree_ops
+
+let test_check_only_flushes_pending () =
+  (* Regression: check_only with a non-empty batch buffer must flush it
+     first — the probe's verdict is computed against exactly the nodes
+     an unbatched store would hold — without inserting the probe or
+     closing the buffer. *)
+  let store = Disjoint_store.create ~batch:true () in
+  adjacent_run ~n:6 store;
+  (match
+     Disjoint_store.check_only store (acc ~seq:50 ~line:9 ~op:"Store" 2 2 Access_kind.Local_write)
+   with
+  | Store_intf.Inserted -> Alcotest.fail "check_only missed the race against the pending run"
+  | Store_intf.Race_detected { existing; _ } ->
+      Alcotest.(check bool) "existing is the flushed hull" true
+        (Interval.equal existing.Access.interval (Interval.make ~lo:0 ~hi:5)));
+  Alcotest.(check int) "probe was not inserted" 1 (Disjoint_store.size store);
+  Alcotest.(check int) "buffer flushed once" 1
+    (Disjoint_store.fast_path_stats store).Disjoint_store.batch_flushes;
+  Alcotest.(check bool) "buffer stays open after the flush" true (Disjoint_store.batching store)
+
+let test_race_straddles_pending_flush () =
+  (* Regression: a conflicting insert near one of several pending runs
+     flushes only the interacting run, races against it, and leaves the
+     other run buffered — final state identical to the unbatched store. *)
+  let run_a = List.init 4 (fun i -> acc ~seq:(i + 1) ~line:1 ~op:"MPI_Get" i i Access_kind.Rma_write) in
+  let run_b =
+    List.init 4 (fun i ->
+        acc ~seq:(i + 10) ~line:2 ~op:"MPI_Get" (5000 + i) (5000 + i) Access_kind.Rma_write)
+  in
+  let conflict = acc ~seq:20 ~line:5 ~op:"Store" 1 1 Access_kind.Local_write in
+  let feed store =
+    List.iter (fun a -> expect_inserted "run" (Disjoint_store.insert store a)) (run_a @ run_b);
+    match Disjoint_store.insert store conflict with
+    | Store_intf.Inserted -> Alcotest.fail "straddling conflict not flagged"
+    | Store_intf.Race_detected { existing; _ } -> existing
+  in
+  let batched = Disjoint_store.create ~batch:true () in
+  let existing = feed batched in
+  Alcotest.(check bool) "race names the coalesced run" true
+    (Interval.equal existing.Access.interval (Interval.make ~lo:0 ~hi:3));
+  Alcotest.(check int) "only the straddled run was flushed" 1
+    (Disjoint_store.fast_path_stats batched).Disjoint_store.batch_flushes;
+  Alcotest.(check bool) "fast-path invariants hold" true (Disjoint_store.self_check batched);
+  let reference = Disjoint_store.create ~fast_path:false () in
+  let existing_ref = feed reference in
+  Alcotest.(check bool) "batched and unbatched name the same node" true
+    (Access.equal existing existing_ref);
+  Disjoint_store.batch_flush batched;
+  Alcotest.(check bool) "final interval sets agree" true
+    (List.equal Access.equal (Disjoint_store.to_list reference) (Disjoint_store.to_list batched))
+
+let test_recorder_sees_precoalesce_origins () =
+  (* Regression: coalescing must not hide origins from the flight
+     recorder, and the epoch counter must advance under note_epoch even
+     with a non-empty batch buffer. *)
+  Flight_recorder.enable ();
+  Fun.protect ~finally:Flight_recorder.disable (fun () ->
+      let store = Disjoint_store.create ~batch:true () in
+      adjacent_run ~n:5 ~lo0:0 ~line:2 store;
+      Disjoint_store.note_epoch store;
+      adjacent_run ~n:3 ~lo0:10 ~line:3 store;
+      let ring = Option.get (Disjoint_store.recorder store) in
+      Alcotest.(check int) "every pre-coalesce origin recorded" 8 (Flight_recorder.length ring);
+      Alcotest.(check int) "epoch advanced with a pending buffer" 1
+        (Flight_recorder.current_epoch ring);
+      let epochs =
+        List.map
+          (fun (o : Flight_recorder.origin) -> o.Flight_recorder.epoch)
+          (Flight_recorder.to_list ring)
+      in
+      Alcotest.(check (list int)) "origins stamped with their insert epoch"
+        [ 0; 0; 0; 0; 0; 1; 1; 1 ] epochs;
+      let hits = Flight_recorder.history ring (Interval.make ~lo:2 ~hi:2) in
+      Alcotest.(check int) "history pinpoints the one contributing origin" 1 (List.length hits))
+
 (* --- Properties. --- *)
 
 let access_gen =
@@ -382,6 +530,16 @@ let suite =
     Alcotest.test_case "clear keeps cumulative stats" `Quick test_clear_keeps_cumulative_stats;
     Alcotest.test_case "dominance absorption imprecision (pinned)" `Quick
       test_dominance_absorption_imprecision;
+    Alcotest.test_case "finger cache absorbs an adjacent run" `Quick test_finger_absorbs_adjacent_run;
+    Alcotest.test_case "overlap after a run flushes and races" `Quick
+      test_overlap_after_run_flushes_and_races;
+    Alcotest.test_case "clear drops pending runs" `Quick test_clear_drops_pending_runs;
+    Alcotest.test_case "merge-off disables the fast path" `Quick test_merge_off_disables_fast_path;
+    Alcotest.test_case "check_only flushes the pending buffer" `Quick
+      test_check_only_flushes_pending;
+    Alcotest.test_case "race straddling a pending flush" `Quick test_race_straddles_pending_flush;
+    Alcotest.test_case "recorder sees pre-coalesce origins" `Quick
+      test_recorder_sees_precoalesce_origins;
     QCheck_alcotest.to_alcotest prop_disjoint_invariant;
     QCheck_alcotest.to_alcotest prop_coverage_preserved;
     QCheck_alcotest.to_alcotest prop_strongest_kind_preserved;
