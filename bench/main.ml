@@ -146,6 +146,22 @@ let run_ablation () =
       ])
     rows
 
+let run_par ~scale () =
+  section "Parallel sharded engine";
+  let rows, rendered = Experiments.par ~scale () in
+  print_string rendered;
+  List.concat_map
+    (fun (r : Experiments.par_row) ->
+      let pre = Printf.sprintf "par_j%d" r.p_jobs in
+      [
+        (metric_key [ pre; "epoch_time_s" ], r.p_epoch_time);
+        (metric_key [ pre; "exec_time_s" ], r.p_exec_time);
+        (metric_key [ pre; "races" ], float_of_int r.p_races);
+        (metric_key [ pre; "nodes" ], float_of_int r.p_nodes);
+        (metric_key [ pre; "speedup" ], r.p_speedup);
+      ])
+    rows
+
 (* Insert fast path: the Code 2 adjacent-access stream through the
    disjoint store with the fast path off, the finger cache alone, and
    the coalescing batch buffer — asserting identical verdicts and final
@@ -375,6 +391,9 @@ let () =
     | "--batch-inserts" :: rest ->
         Rma_store.Disjoint_store.set_batch_default true;
         parse rest
+    | "--jobs" :: v :: rest ->
+        Rma_par.set_default_jobs (int_of_string v);
+        parse rest
     | arg :: rest ->
         selected := arg :: !selected;
         parse rest
@@ -398,19 +417,20 @@ let () =
     | "fig11" -> run_fig11 ~scale ~ranks ()
     | "fig12" -> run_fig12 ~scale ~ranks ()
     | "ablation" -> run_ablation ()
+    | "par" -> run_par ~scale ()
     | "fastpath" -> run_fastpath ()
     | "micro" -> run_micro ()
     | "all" -> []
     | other ->
         Printf.eprintf
           "unknown experiment %S (expected table2 table3 table4 fig5 fig8 fig9 fig10 fig11 fig12 \
-           ablation fastpath micro all)\n"
+           ablation par fastpath micro all)\n"
           other;
         exit 2
   in
   let all_names =
     [ "table2"; "table3"; "table4"; "fig5"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
-      "ablation"; "fastpath"; "micro" ]
+      "ablation"; "par"; "fastpath"; "micro" ]
   in
   let selected = List.concat_map (function "all" -> all_names | n -> [ n ]) selected in
   (* Each experiment becomes a top-level phase span so a trace of the

@@ -24,6 +24,7 @@ type diag_opts = {
   races_json : string option;
   races_sarif : string option;
   batch_inserts : bool;
+  jobs : int option;
 }
 
 let wants_races opts = opts.races_json <> None || opts.races_sarif <> None
@@ -86,10 +87,23 @@ let diag_term =
              epoch close and race check, so verdicts are unchanged). Same as setting \
              $(b,RMA_BATCH_INSERTS=1).")
   in
-  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif batch_inserts =
-    { obs_out; obs_summary; obs_prometheus; obs_sample; races_json; races_sarif; batch_inserts }
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Shard the analyzer's (rank, window) interval trees over $(docv) worker domains \
+             (sharded parallel engine; verdicts, reports and exports are byte-identical to the \
+             sequential analyzer). 1 = sequential. Same as setting $(b,RMA_JOBS). Baseline and \
+             MUST ignore it.")
   in
-  Term.(const mk $ out $ summary $ prometheus $ sample $ races_json $ races_sarif $ batch_inserts)
+  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif batch_inserts jobs =
+    { obs_out; obs_summary; obs_prometheus; obs_sample; races_json; races_sarif; batch_inserts; jobs }
+  in
+  Term.(
+    const mk $ out $ summary $ prometheus $ sample $ races_json $ races_sarif $ batch_inserts
+    $ jobs)
 
 let generator = "rma_race"
 
@@ -107,6 +121,8 @@ let with_diag opts f =
   (* Like the recorder flag, the batching default must be set before [f]
      creates its tool. *)
   if opts.batch_inserts then Rma_store.Disjoint_store.set_batch_default true;
+  (* Ditto for the shard count: tools snapshot it at creation. *)
+  Option.iter Rma_par.set_default_jobs opts.jobs;
   let obs_export () =
     if active then begin
       let write_file what write path =
@@ -155,7 +171,15 @@ let ranks_arg default =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
 
-let config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 2.0 }
+let base_config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 2.0 }
+
+(* Read at tool-creation time, after [with_diag] applied [--jobs]: a
+   parallel analyzer times itself (critical-path model at epoch
+   barriers), so inline wall-time charging must be off. *)
+let config () =
+  if Rma_par.default_jobs () > 1 then
+    { base_config with Mpi_sim.Config.analysis_self_timed = true }
+  else base_config
 
 let print_tool_outcome tool =
   let total = tool.Tool.race_count () in
@@ -177,6 +201,7 @@ let print_tool_outcome tool =
 let suite_cmd =
   let run obs tool_choice =
     with_diag obs @@ fun () ->
+    let config = config () in
     let tool = make_tool tool_choice ~nprocs:3 ~config in
     match tool_choice with
     | Toolbox.Baseline ->
@@ -215,6 +240,7 @@ let code_cmd =
         Printf.eprintf "unknown code %S\n" name;
         exit 2
     | Some s ->
+        let config = config () in
         let tool = make_tool tool_choice ~nprocs:3 ~config in
         let v = Rma_microbench.Runner.run ~tool s in
         Printf.printf "%s: ground truth %s; %s says %s [%s]\n" name
@@ -240,6 +266,7 @@ let minivite_cmd =
   in
   let run obs tool_choice nprocs seed vertices inject =
     with_diag obs @@ fun () ->
+    let config = config () in
     let params =
       {
         Minivite.Louvain.default_params with
@@ -276,6 +303,7 @@ let cfd_cmd =
   in
   let run obs tool_choice nprocs seed iterations cells =
     with_diag obs @@ fun () ->
+    let config = config () in
     let params =
       { Cfd_proxy.Halo.default_params with Cfd_proxy.Halo.iterations; cells_per_chunk = cells }
     in
@@ -302,7 +330,7 @@ let experiment_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"EXPERIMENT"
-          ~doc:"table2, table3, table4, fig5, fig8, fig9, fig10, fig11, fig12 or ablation.")
+          ~doc:"table2, table3, table4, fig5, fig8, fig9, fig10, fig11, fig12, ablation or par.")
   in
   let scale_arg =
     Arg.(value & opt float 0.1 & info [ "scale" ] ~docv:"S" ~doc:"MiniVite input scale factor.")
@@ -321,6 +349,7 @@ let experiment_cmd =
     | "fig11" -> print_string (snd (Experiments.fig11 ~scale ()))
     | "fig12" -> print_string (snd (Experiments.fig12 ~scale ()))
     | "ablation" -> print_string (snd (Experiments.ablation ()))
+    | "par" -> print_string (snd (Experiments.par ~scale ()))
     | other ->
         Printf.eprintf "unknown experiment %S\n" other;
         exit 2);
@@ -338,6 +367,7 @@ let bfs_cmd =
   in
   let run obs tool_choice nprocs seed vertices =
     with_diag obs @@ fun () ->
+    let config = config () in
     let params =
       {
         Graph500.Bfs.default_params with

@@ -32,6 +32,10 @@ let store_clear = function
   | L s -> Legacy_store.clear s
   | D s -> Disjoint_store.clear s
   | S s -> Strided_store.clear s
+let store_to_list = function
+  | L s -> Legacy_store.to_list s
+  | D s -> Disjoint_store.to_list s
+  | S s -> Strided_store.to_list s
 
 (* Flight-recorder hooks: only the disjoint store keeps interval
    history. The legacy store never merges (every access stays its own
@@ -53,6 +57,32 @@ type tree = {
   mutable epoch_span : Obs.span option;  (* open Epoch_opened..Epoch_closed trace span *)
 }
 
+(* A race detected on a worker domain, parked until the next barrier.
+   Everything the sequential [record_race] needs is captured at
+   detection time — in particular the flight-recorder histories, which
+   must be read before later inserts evolve the recorder's ring — except
+   the race id, which is globally ordered and therefore assigned on the
+   caller thread during the merge. *)
+type pending_race = {
+  p_tag : int;  (** Global submission index — the sequential insert order. *)
+  p_space : int;
+  p_win : Event.win_id;
+  p_existing : Access.t;
+  p_incoming : Access.t;
+  p_sim_time : float;
+  p_prov : Report.provenance;  (** [id = 0]; patched during the merge. *)
+}
+
+(* Parallel half of the analyzer: the engine plus per-shard race
+   buffers. A buffer is written only by its shard's worker domain and
+   drained by the caller right after a barrier, so no locking beyond the
+   engine's own is needed. *)
+type par = {
+  engine : Rma_par.t;
+  mutable next_tag : int;
+  shard_races : pending_race list ref array;  (** Newest first, per shard. *)
+}
+
 type state = {
   nprocs : int;
   config : Config.t;
@@ -62,6 +92,7 @@ type state = {
   policy : policy;
   name : string;
   max_reports : int;
+  par : par option;  (** [None] = today's sequential path, byte for byte. *)
   trees : (int * Event.win_id, tree) Hashtbl.t;  (* (space, window) *)
   epoch_closers : (Event.win_id, (int, unit) Hashtbl.t) Hashtbl.t;
       (* The DISTINCT ranks that closed an epoch on a window since the
@@ -134,14 +165,94 @@ let provenance_of st tree ~existing ~incoming =
         incoming_history = Flight_recorder.history r incoming.Access.interval;
       }
 
+(* Worker-side provenance: like [provenance_of] minus the race id,
+   which only exists once races are merged back into global order. *)
+let worker_provenance tree ~existing ~incoming =
+  match store_recorder tree.store with
+  | None -> Report.empty_provenance
+  | Some r ->
+      {
+        Report.empty_provenance with
+        Report.epoch = Some (Flight_recorder.current_epoch r);
+        existing_history = Flight_recorder.history r existing.Access.interval;
+        incoming_history = Flight_recorder.history r incoming.Access.interval;
+      }
+
 let insert_into st key access ~sim_time =
   let tree = tree_for st key in
-  match store_insert tree.store access with
-  | Store_intf.Inserted -> ()
-  | Store_intf.Race_detected { existing; incoming } ->
+  match st.par with
+  | None -> (
+      match store_insert tree.store access with
+      | Store_intf.Inserted -> ()
+      | Store_intf.Race_detected { existing; incoming } ->
+          let space, win = key in
+          let provenance = provenance_of st tree ~existing ~incoming in
+          record_race st ~space ~win:(Some win) ~existing ~incoming ~sim_time ~provenance)
+  | Some p ->
+      (* The tree is resolved (and created) here on the caller thread;
+         the worker only runs the store operation. The tag is the global
+         submission index: sorting merged races by it reproduces the
+         exact sequential detection order, so ids, the [max_reports]
+         truncation point and the report list are all byte-identical. *)
       let space, win = key in
-      let provenance = provenance_of st tree ~existing ~incoming in
-      record_race st ~space ~win:(Some win) ~existing ~incoming ~sim_time ~provenance
+      let tag = p.next_tag in
+      p.next_tag <- tag + 1;
+      let shard = Rma_par.shard_of p.engine ~space ~win in
+      let buf = p.shard_races.(shard) in
+      Rma_par.submit p.engine ~shard (fun () ->
+          match store_insert tree.store access with
+          | Store_intf.Inserted -> ()
+          | Store_intf.Race_detected { existing; incoming } ->
+              let p_prov = worker_provenance tree ~existing ~incoming in
+              buf :=
+                {
+                  p_tag = tag;
+                  p_space = space;
+                  p_win = win;
+                  p_existing = existing;
+                  p_incoming = incoming;
+                  p_sim_time = sim_time;
+                  p_prov;
+                }
+                :: !buf)
+
+(* Drain the shard race buffers (caller thread, after a barrier) and
+   replay them through [record_race] in submission order. *)
+let merge_pending st p =
+  let pending =
+    Array.fold_left
+      (fun acc buf ->
+        let races = !buf in
+        buf := [];
+        List.rev_append races acc)
+      [] p.shard_races
+  in
+  match pending with
+  | [] -> ()
+  | pending ->
+      let pending = List.sort (fun a b -> compare a.p_tag b.p_tag) pending in
+      List.iter
+        (fun pr ->
+          let provenance = { pr.p_prov with Report.id = st.race_count + 1 } in
+          record_race st ~space:pr.p_space ~win:(Some pr.p_win) ~existing:pr.p_existing
+            ~incoming:pr.p_incoming ~sim_time:pr.p_sim_time ~provenance)
+        pending
+
+(* Epoch barrier: wait for every in-flight store operation, restore the
+   sequential race order, and — when the config says the analyzer times
+   itself — return the critical-path cost model's simulated seconds:
+   the busiest shard's measured work since the last barrier, scaled
+   exactly like the runtime scales inline observer time. *)
+let sync st =
+  match st.par with
+  | None -> 0.0
+  | Some p ->
+      Rma_par.barrier p.engine;
+      merge_pending st p;
+      let work = Rma_par.take_work_seconds p.engine in
+      if st.config.Config.analysis_self_timed then
+        work *. st.config.Config.analysis_overhead_scale
+      else 0.0
 
 (* Which trees receive a local access: the window containing it when its
    epoch is open, otherwise every open epoch of the rank (the analyzer
@@ -179,6 +290,19 @@ let on_access st (a : Event.access_event) =
   end
 
 let observer st event =
+  (* Parallel engines synchronise exactly where the sequential analyzer
+     touches whole trees: epoch boundaries (note_epoch / batch flush /
+     size sampling / window clears) and the flush-clears ablation. The
+     barrier drains every shard queue first, so the main-thread code
+     below always sees the same store states a sequential run would. *)
+  let barrier_cost =
+    match (st.par, event) with
+    | Some _, (Event.Epoch_opened _ | Event.Epoch_closed _) -> sync st
+    | Some _, Event.Flushed _ when st.flush_clears -> sync st
+    | _ -> 0.0
+  in
+  barrier_cost
+  +.
   match event with
   | Event.Access a -> on_access st a
   | Event.Epoch_opened { win; rank; sim_time } ->
@@ -251,37 +375,87 @@ let bst_summary st () =
       })
     st.trees Tool.empty_bst_summary
 
-let create ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race) ?(flush_clears = false)
-    ?(max_reports = 1000) ?batch_inserts policy =
+let make_state ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race)
+    ?(flush_clears = false) ?(max_reports = 1000) ?batch_inserts ?jobs ?queue_capacity policy =
   let batch_inserts =
     match batch_inserts with Some b -> b | None -> Disjoint_store.batch_default_enabled ()
   in
-  let st =
-    {
-      nprocs;
-      config;
-      mode;
-      flush_clears;
-      batch_inserts;
-      policy;
-      name = policy_name policy;
-      max_reports;
-      trees = Hashtbl.create 16;
-      epoch_closers = Hashtbl.create 4;
-      races = [];
-      race_count = 0;
-    }
+  let jobs = match jobs with Some j -> j | None -> Rma_par.default_jobs () in
+  (* Abort_on_race must raise from inside the racing insert's event —
+     mid-stream, before later events run — which an asynchronous engine
+     cannot reproduce; it stays on the sequential path regardless of
+     [jobs]. *)
+  let jobs = match mode with Tool.Abort_on_race -> 1 | Tool.Collect -> max 1 jobs in
+  let par =
+    if jobs <= 1 then None
+    else
+      Some
+        {
+          engine = Rma_par.create ~jobs ?queue_capacity ();
+          next_tag = 0;
+          shard_races = Array.init jobs (fun _ -> ref []);
+        }
   in
+  {
+    nprocs;
+    config;
+    mode;
+    flush_clears;
+    batch_inserts;
+    policy;
+    name = policy_name policy;
+    max_reports;
+    par;
+    trees = Hashtbl.create 16;
+    epoch_closers = Hashtbl.create 4;
+    races = [];
+    race_count = 0;
+  }
+
+(* Every externally observable read syncs first: a caller sampling races
+   or tree statistics mid-stream must see exactly the sequential state. *)
+let tool_of_state st =
+  let settle () = ignore (sync st) in
   {
     Tool.name = st.name;
     observer = observer st;
-    races = (fun () -> List.rev st.races);
-    race_count = (fun () -> st.race_count);
-    bst_summary = bst_summary st;
+    races =
+      (fun () ->
+        settle ();
+        List.rev st.races);
+    race_count =
+      (fun () ->
+        settle ();
+        st.race_count);
+    bst_summary =
+      (fun () ->
+        settle ();
+        bst_summary st ());
     reset =
       (fun () ->
+        settle ();
+        (match st.par with Some p -> p.next_tag <- 0 | None -> ());
         Hashtbl.reset st.trees;
         Hashtbl.reset st.epoch_closers;
         st.races <- [];
         st.race_count <- 0);
   }
+
+let create ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs ?queue_capacity
+    policy =
+  tool_of_state
+    (make_state ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
+       ?queue_capacity policy)
+
+let create_inspectable ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
+    ?queue_capacity policy =
+  let st =
+    make_state ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
+      ?queue_capacity policy
+  in
+  let dump () =
+    ignore (sync st);
+    Hashtbl.fold (fun key tree acc -> (key, store_to_list tree.store) :: acc) st.trees []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (tool_of_state st, dump)

@@ -36,12 +36,29 @@ val create :
   ?flush_clears:bool ->
   ?max_reports:int ->
   ?batch_inserts:bool ->
+  ?jobs:int ->
+  ?queue_capacity:int ->
   policy ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Abort_on_race],
     [flush_clears = false], [max_reports = 1000], [batch_inserts] from
     {!Rma_store.Disjoint_store.batch_default_enabled} (the CLI's
-    [--batch-inserts] / the [RMA_BATCH_INSERTS] environment variable).
+    [--batch-inserts] / the [RMA_BATCH_INSERTS] environment variable),
+    [jobs] from {!Rma_par.default_jobs} (the CLI's [--jobs] / the
+    [RMA_JOBS] environment variable).
+
+    [jobs > 1] runs every store operation on a sharded
+    {!Rma_par} engine: (rank, window) trees are partitioned over [jobs]
+    worker domains, inserts stream to their shard's bounded FIFO queue
+    ([queue_capacity], default 1024), and epoch events act as barriers.
+    Race reports are merged back into the exact sequential order (see
+    DESIGN.md §10), so verdicts, statistics, report ids and serialized
+    exports are byte-identical to [jobs = 1]. [Abort_on_race] forces
+    [jobs = 1]: aborting mid-stream inside the racing event cannot be
+    reproduced asynchronously. When
+    [config.analysis_self_timed] is set, the observer returns the
+    engine's critical-path cost model (busiest shard per barrier
+    interval) as simulated protocol seconds.
 
     [batch_inserts:true] opens each disjoint store's coalescing write
     buffer (see {!Rma_store.Disjoint_store.batch_begin}); the analyzer
@@ -58,3 +75,20 @@ val create :
     orders the {e caller}'s operations; the paper shows this produces
     false negatives for conflicts with other origins, which is why the
     real tool leaves flush uninstrumented. *)
+
+val create_inspectable :
+  nprocs:int ->
+  ?config:Mpi_sim.Config.t ->
+  ?mode:Tool.mode ->
+  ?flush_clears:bool ->
+  ?max_reports:int ->
+  ?batch_inserts:bool ->
+  ?jobs:int ->
+  ?queue_capacity:int ->
+  policy ->
+  Tool.t * (unit -> ((int * Mpi_sim.Event.win_id) * Rma_access.Access.t list) list)
+(** {!create} plus a dump of the analyzer's interval state: for each
+    (rank, window) tree, the stored accesses in store order, keys
+    sorted. The dump synchronises the parallel engine first, so it is
+    safe mid-stream. Built for the differential determinism tests, which
+    assert interval sets equal across [jobs] values. *)

@@ -26,9 +26,11 @@ val make :
   ?config:Mpi_sim.Config.t ->
   ?mode:Tool.mode ->
   ?batch_inserts:bool ->
+  ?jobs:int ->
   unit ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Collect],
-    [batch_inserts] from the process-wide default (see
-    {!Rma_analyzer.create}); it only affects the disjoint-store
-    policies. *)
+    [batch_inserts] and [jobs] from the process-wide defaults (see
+    {!Rma_analyzer.create}); [batch_inserts] only affects the
+    disjoint-store policies, and [jobs] the analyzer family ([Baseline]
+    and [Must] ignore it). *)

@@ -5,6 +5,7 @@ type t = {
   alpha_sync : float;
   apply_early_probability : float;
   analysis_overhead_scale : float;
+  analysis_self_timed : bool;
   memory_size : int;
 }
 
@@ -16,6 +17,7 @@ let default =
     alpha_sync = 2.0e-6;
     apply_early_probability = 0.5;
     analysis_overhead_scale = 1.0;
+    analysis_self_timed = false;
     memory_size = 1 lsl 20;
   }
 

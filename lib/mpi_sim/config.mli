@@ -22,6 +22,18 @@ type t = {
           time rather than at epoch completion — the source of observable
           nondeterminism for racy programs. *)
   analysis_overhead_scale : float;
+  analysis_self_timed : bool;
+      (** When false (the default), the runtime measures each observer
+          call's wall time and charges [wall * analysis_overhead_scale]
+          to the triggering rank. When true the runtime charges only the
+          observer's returned protocol cost, and the observer is
+          responsible for folding its own modelled analysis seconds into
+          that return value — the contract the sharded parallel analyzer
+          uses: on a single simulator process the inline wall clock
+          would bill one rank for work that conceptually ran
+          concurrently on [jobs] domains, so the analyzer instead
+          reports the critical-path maximum over shards at each epoch
+          barrier (see {!Rma_par.take_work_seconds}). *)
   memory_size : int;  (** Initial per-rank address-space size in bytes. *)
 }
 

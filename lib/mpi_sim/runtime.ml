@@ -178,7 +178,14 @@ let dispatch s ~charge_to event =
   Obs.observe obs_observer_seconds wall;
   Obs.observe obs_protocol_cost protocol_cost;
   let rk = s.ranks.(charge_to) in
-  rk.clock <- rk.clock +. (wall *. s.config.Config.analysis_overhead_scale) +. protocol_cost
+  (* Self-timed observers (the sharded parallel analyzer) fold their own
+     modelled analysis seconds into [protocol_cost]; charging the inline
+     wall time too would double-bill them. *)
+  let wall_charge =
+    if s.config.Config.analysis_self_timed then 0.0
+    else wall *. s.config.Config.analysis_overhead_scale
+  in
+  rk.clock <- rk.clock +. wall_charge +. protocol_cost
 
 let next_seq s =
   s.seq <- s.seq + 1;
@@ -438,15 +445,19 @@ let handle_request s rank req k =
             resume s r k (RInt id))
           members
       end
+  (* Every close path accrues epoch_time AFTER the Epoch_closed
+     dispatch: the close-side protocol work the observer charges (the
+     end-of-epoch MPI_Reduce, a parallel analyzer's barrier drain) is
+     part of the epoch being closed, not of the gap to the next one. *)
   | R_win_free { win } ->
       let w = get_window s win in
       (match find_epoch rk win with
       | Some epoch when epoch.kind = Fence && epoch.pending = [] ->
           (* A trailing fence leaves an empty epoch open; close it
              implicitly, as MPI_Win_free does after a final fence. *)
-          rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at);
           rk.epochs <- List.remove_assoc win rk.epochs;
-          dispatch s ~charge_to:rank (Event.Epoch_closed { win; rank; sim_time = rk.clock })
+          dispatch s ~charge_to:rank (Event.Epoch_closed { win; rank; sim_time = rk.clock });
+          rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at)
       | Some _ ->
           raise
             (Mpi_error (Printf.sprintf "rank %d: win_free with an open epoch on window %d" rank win))
@@ -483,9 +494,9 @@ let handle_request s rank req k =
       let epoch = require_epoch rk win in
       apply_pending s rk epoch ~only_target:None;
       rk.clock <- rk.clock +. cfg.Config.alpha_sync;
-      rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at);
       rk.epochs <- List.remove_assoc win rk.epochs;
       dispatch s ~charge_to:rank (Event.Epoch_closed { win; rank; sim_time = rk.clock });
+      rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at);
       resume s rank k RUnit
   | R_flush_all { win; loc = _ } ->
       ignore (get_window s win);
@@ -525,9 +536,9 @@ let handle_request s rank req k =
       if epoch.lock_count <= 0 then begin
         apply_pending s rk epoch ~only_target:None;
         rk.clock <- rk.clock +. cfg.Config.alpha_sync;
-        rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at);
         rk.epochs <- List.remove_assoc win rk.epochs;
-        dispatch s ~charge_to:rank (Event.Epoch_closed { win; rank; sim_time = rk.clock })
+        dispatch s ~charge_to:rank (Event.Epoch_closed { win; rank; sim_time = rk.clock });
+        rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at)
       end;
       release_waiters s w win ~target;
       resume s rank k RUnit
@@ -554,9 +565,9 @@ let handle_request s rank req k =
             | Some epoch ->
                 apply_pending s rk epoch ~only_target:None;
                 rk.clock <- rk.clock +. cfg.Config.alpha_sync;
-                rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at);
                 rk.epochs <- List.remove_assoc win rk.epochs;
-                dispatch s ~charge_to:r (Event.Epoch_closed { win; rank = r; sim_time = rk.clock })
+                dispatch s ~charge_to:r (Event.Epoch_closed { win; rank = r; sim_time = rk.clock });
+                rk.epoch_time <- rk.epoch_time +. (rk.clock -. epoch.opened_at)
             | None -> ())
           gather.arrived;
         let latest =

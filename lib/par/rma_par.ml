@@ -1,0 +1,177 @@
+module Obs = Rma_obs.Obs
+
+let obs_shard_inserts =
+  Obs.counter ~help:"Work items routed to shard queues" "par.shard_inserts"
+
+let obs_queue_depth =
+  Obs.histogram ~unit_:"items" ~help:"Shard queue depth sampled at each submit" "par.queue_depth"
+
+let obs_barrier_wait_ns =
+  Obs.histogram ~unit_:"ns" ~help:"Wall time the caller waited at each epoch barrier"
+    "par.barrier_wait_ns"
+
+let obs_barriers = Obs.counter ~help:"Epoch barriers completed" "par.barriers"
+
+(* The pool is deliberately small: the analyzer's shards are coarse
+   (whole interval trees), and the OCaml runtime caps live domains, so a
+   process must never spawn domains per engine. *)
+let max_jobs = 8
+
+let clamp_jobs j = if j < 1 then 1 else if j > max_jobs then max_jobs else j
+
+let env_jobs () =
+  match Sys.getenv_opt "RMA_JOBS" with
+  | None -> 1
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some j -> clamp_jobs j | None -> 1)
+
+let default = ref (env_jobs ())
+let default_jobs () = !default
+let set_default_jobs j = default := clamp_jobs j
+
+(* ------------------------------------------------------------------ *)
+(* Global worker pool: one FIFO queue + one domain per worker slot,     *)
+(* spawned on first use and reused by every engine. Workers never       *)
+(* terminate; they block on their queue's condition variable, which     *)
+(* releases the domain lock, so idle workers cost nothing and never     *)
+(* stall the GC.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  w_queue : (unit -> unit) Queue.t;
+  w_mu : Mutex.t;
+  w_nonempty : Condition.t;
+}
+
+let workers =
+  Array.init max_jobs (fun _ ->
+      { w_queue = Queue.create (); w_mu = Mutex.create (); w_nonempty = Condition.create () })
+
+let spawn_mu = Mutex.create ()
+let spawned = ref 0
+
+let worker_loop w =
+  while true do
+    Mutex.lock w.w_mu;
+    while Queue.is_empty w.w_queue do
+      Condition.wait w.w_nonempty w.w_mu
+    done;
+    let task = Queue.pop w.w_queue in
+    Mutex.unlock w.w_mu;
+    task ()
+  done
+
+let ensure_workers n =
+  if !spawned < n then begin
+    Mutex.lock spawn_mu;
+    while !spawned < n do
+      let w = workers.(!spawned) in
+      ignore (Domain.spawn (fun () -> worker_loop w));
+      incr spawned
+    done;
+    Mutex.unlock spawn_mu
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Engines                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type shard = {
+  mutable inflight : int;  (* guarded by the engine mutex *)
+  mutable work_seconds : float;
+      (* Written only by the shard's worker, between tasks; read by the
+         caller after a barrier. Both sides order their access through
+         the engine mutex (the worker's completion decrement, the
+         caller's barrier wait), so no torn or stale reads. *)
+}
+
+type t = {
+  n_jobs : int;
+  queue_capacity : int;
+  mu : Mutex.t;
+  changed : Condition.t;  (* any inflight decrement; pending reaching 0 *)
+  shards : shard array;
+  mutable pend : int;
+  mutable failure : exn option;
+}
+
+let create ?jobs ?(queue_capacity = 1024) () =
+  let n_jobs = clamp_jobs (match jobs with Some j -> j | None -> default_jobs ()) in
+  ensure_workers n_jobs;
+  {
+    n_jobs;
+    queue_capacity = max 1 queue_capacity;
+    mu = Mutex.create ();
+    changed = Condition.create ();
+    shards = Array.init n_jobs (fun _ -> { inflight = 0; work_seconds = 0.0 });
+    pend = 0;
+    failure = None;
+  }
+
+let jobs t = t.n_jobs
+
+let shard_of t ~space ~win =
+  (* Fibonacci-ish mixing keeps consecutive windows of one rank from
+     piling onto one shard; the result depends only on (key, jobs). *)
+  let h = (space * 0x9e3779b1) lxor (win * 0x85ebca77) in
+  (h land max_int) mod t.n_jobs
+
+let submit t ~shard f =
+  let sh = t.shards.(shard) in
+  Mutex.lock t.mu;
+  while sh.inflight >= t.queue_capacity do
+    Condition.wait t.changed t.mu
+  done;
+  sh.inflight <- sh.inflight + 1;
+  t.pend <- t.pend + 1;
+  let depth = sh.inflight in
+  Mutex.unlock t.mu;
+  if Obs.is_enabled () then begin
+    Obs.incr obs_shard_inserts;
+    Obs.observe_int obs_queue_depth depth
+  end;
+  let task () =
+    let t0 = Rma_util.Timer.now () in
+    let err = (try f (); None with e -> Some e) in
+    sh.work_seconds <- sh.work_seconds +. (Rma_util.Timer.now () -. t0);
+    Mutex.lock t.mu;
+    (match (err, t.failure) with Some e, None -> t.failure <- Some e | _ -> ());
+    sh.inflight <- sh.inflight - 1;
+    t.pend <- t.pend - 1;
+    Condition.broadcast t.changed;
+    Mutex.unlock t.mu
+  in
+  let w = workers.(shard) in
+  Mutex.lock w.w_mu;
+  Queue.push task w.w_queue;
+  Condition.signal w.w_nonempty;
+  Mutex.unlock w.w_mu
+
+let barrier t =
+  let t0 = Rma_util.Timer.now () in
+  Mutex.lock t.mu;
+  while t.pend > 0 do
+    Condition.wait t.changed t.mu
+  done;
+  let err = t.failure in
+  t.failure <- None;
+  Mutex.unlock t.mu;
+  if Obs.is_enabled () then begin
+    Obs.incr obs_barriers;
+    Obs.observe obs_barrier_wait_ns ((Rma_util.Timer.now () -. t0) *. 1e9)
+  end;
+  match err with Some e -> raise e | None -> ()
+
+let pending t =
+  Mutex.lock t.mu;
+  let p = t.pend in
+  Mutex.unlock t.mu;
+  p
+
+let take_work_seconds t =
+  let worst = ref 0.0 in
+  Array.iter
+    (fun sh ->
+      if sh.work_seconds > !worst then worst := sh.work_seconds;
+      sh.work_seconds <- 0.0)
+    t.shards;
+  !worst

@@ -1,0 +1,80 @@
+(** Sharded parallel execution engine for the analyzers.
+
+    The paper's detector state is partitioned by (rank, window) key —
+    independent interval trees that never interact except through epoch
+    synchronisation (§3, Figure 3). This module exploits that: an engine
+    owns [jobs] shards, each shard is pinned to one OCaml 5 domain of a
+    process-global worker pool, and work submitted for one shard runs on
+    that shard's domain in submission order (a bounded FIFO queue per
+    shard). Barriers drain every queue, aligning with the analyzer's
+    epoch events.
+
+    Determinism contract: a key always maps to the same shard
+    ({!shard_of}), a shard's tasks run in submission order on a single
+    domain, and {!barrier} completes only when every submitted task has
+    run — so per-store operation sequences are exactly the sequential
+    ones, and any cross-shard result (e.g. race reports) can be restored
+    to the sequential order by tagging submissions on the caller's side.
+
+    Thread discipline: {!submit}, {!barrier}, {!take_work_seconds} and
+    the accessors are caller-thread only (the simulator's scheduler is
+    single-threaded); task closures run on worker domains and must touch
+    only shard-private state. All Obs metrics ([par.shard_inserts],
+    [par.queue_depth], [par.barrier_wait_ns], [par.barriers]) are
+    recorded on the calling thread — the Obs registry is not
+    thread-safe, so tasks must never log to it. *)
+
+type t
+
+val max_jobs : int
+(** Hard cap on worker domains (the pool is process-global and
+    append-only, so it is bounded far below the OCaml runtime's domain
+    limit). Requests beyond it are clamped. *)
+
+val default_jobs : unit -> int
+(** Process-wide default shard count used by {!Rma_analyzer.create}
+    when [?jobs] is omitted. Initialised from the [RMA_JOBS]
+    environment variable (clamped to [1 .. max_jobs]; unset, empty or
+    unparsable means 1 = sequential). *)
+
+val set_default_jobs : int -> unit
+(** Override the process-wide default (the CLI's [--jobs]). Clamped to
+    [1 .. max_jobs]. *)
+
+val create : ?jobs:int -> ?queue_capacity:int -> unit -> t
+(** An engine with [jobs] shards (default {!default_jobs}, clamped to
+    [1 .. max_jobs]) and at most [queue_capacity] (default 1024,
+    minimum 1) in-flight tasks per shard. Worker domains are lazily
+    spawned into the global pool and reused by every engine — creating
+    engines is cheap and never leaks domains. *)
+
+val jobs : t -> int
+
+val shard_of : t -> space:int -> win:int -> int
+(** Deterministic shard for a (rank address space, window) store key:
+    depends only on the key and [jobs t]. *)
+
+val submit : t -> shard:int -> (unit -> unit) -> unit
+(** Enqueue a task on the shard's domain. Blocks the calling thread
+    while the shard already has [queue_capacity] tasks in flight
+    (back-pressure); never blocks a worker, so barriers cannot
+    deadlock. A task that raises stashes its exception for the next
+    {!barrier} instead of killing the worker. *)
+
+val barrier : t -> unit
+(** Wait until every task submitted to this engine has completed, then
+    re-raise the first stashed task exception, if any. Records the wait
+    in [par.barrier_wait_ns]. *)
+
+val pending : t -> int
+(** Tasks submitted but not yet completed (diagnostic; caller thread). *)
+
+val take_work_seconds : t -> float
+(** Critical-path cost model: the maximum over shards of wall-clock
+    seconds spent running this engine's tasks since the previous take,
+    and reset the accumulators. Meaningful only right after {!barrier}.
+    With [jobs] balanced shards this models the per-event analysis time
+    of a run whose detector work really were spread over [jobs] cores —
+    which a single simulator process cannot measure directly — and is
+    what {!Mpi_sim.Config.t.analysis_self_timed} charges to the
+    simulated clocks. *)

@@ -76,6 +76,26 @@ val fig11 : ?scale:float -> ?ranks:int list -> unit -> perf_row list * string
 val fig12 : ?scale:float -> ?ranks:int list -> unit -> perf_row list * string
 (** Same with scale × 1 280 000 vertices. *)
 
+type par_row = {
+  p_jobs : int;
+  p_epoch_time : float;  (** Mean simulated per-rank epoch time (s). *)
+  p_exec_time : float;  (** Simulated makespan (s). *)
+  p_wall : float;
+  p_races : int;
+  p_nodes : int;
+  p_speedup : float;  (** Epoch-time speedup relative to the first jobs value. *)
+}
+
+val par : ?scale:float -> ?nprocs:int -> ?jobs:int list -> unit -> par_row list * string
+(** The sharded parallel engine on MiniVite (Our Contribution,
+    scale × 640 000 vertices, default 8 ranks) at each shard count
+    (default [[1; 2; 4]]). [jobs = 1] is the sequential analyzer with
+    inline wall-time charging; [jobs > 1] runs on the {!Rma_par} engine
+    under the critical-path cost model
+    ({!Mpi_sim.Config.t.analysis_self_timed}). Raises [Failure] if any
+    shard count changes race counts, tree population or insert counts —
+    determinism is asserted, not sampled. *)
+
 type ablation_row = { variant : string; nodes : int; races : int; wall : float }
 
 val ablation : unit -> ablation_row list * string

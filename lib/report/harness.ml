@@ -15,7 +15,7 @@ let kind_name k = Toolbox.name (to_toolbox k)
 
 let all_paper_tools = [ Baseline; Legacy; Must; Contribution ]
 
-let make_tool kind ~nprocs ~config = Toolbox.make (to_toolbox kind) ~nprocs ~config ()
+let make_tool ?jobs kind ~nprocs ~config = Toolbox.make (to_toolbox kind) ~nprocs ~config ?jobs ()
 type metrics = {
   tool : string;
   nprocs : int;
@@ -34,8 +34,17 @@ type metrics = {
   accesses : int;
 }
 
-let measure ~nprocs ?(config = Mpi_sim.Config.default) ~workload kind =
-  let tool = make_tool kind ~nprocs ~config in
+let measure ~nprocs ?(config = Mpi_sim.Config.default) ?(jobs = 1) ~workload kind =
+  (* Parallel analyzers time themselves (critical-path model at epoch
+     barriers); the runtime must not also charge their inline wall time.
+     Tools that ignore [jobs] (Baseline, MUST) keep inline charging. *)
+  let config =
+    match kind with
+    | Legacy | Contribution | Fragmentation_only | Order_blind | Strided when jobs > 1 ->
+        { config with Mpi_sim.Config.analysis_self_timed = true }
+    | _ -> config
+  in
+  let tool = make_tool ~jobs kind ~nprocs ~config in
   let observer = match kind with Baseline -> None | _ -> Some tool.Tool.observer in
   (* The measurement IS the span: the wall time reported in tables and
      the one exported to the Chrome trace come from the same
@@ -43,7 +52,7 @@ let measure ~nprocs ?(config = Mpi_sim.Config.default) ~workload kind =
   let result, wall =
     Rma_obs.Obs.time_span ~cat:"phase"
       (Printf.sprintf "measure %s (%d ranks)" (kind_name kind) nprocs)
-      (fun () -> workload ~observer)
+      (fun () -> workload ~config ~observer)
   in
   let b = tool.Tool.bst_summary () in
   let epoch_total = Array.fold_left ( +. ) 0.0 result.Mpi_sim.Runtime.epoch_times in

@@ -17,7 +17,8 @@ val all_paper_tools : tool_kind list
 (** The four configurations of Figures 10–12: baseline, legacy,
     MUST-RMA, contribution. *)
 
-val make_tool : tool_kind -> nprocs:int -> config:Mpi_sim.Config.t -> Rma_analysis.Tool.t
+val make_tool :
+  ?jobs:int -> tool_kind -> nprocs:int -> config:Mpi_sim.Config.t -> Rma_analysis.Tool.t
 (** Tools are created in [Collect] mode: the harness measures overhead
     on complete runs, like the paper's performance experiments. *)
 
@@ -45,9 +46,17 @@ type metrics = {
 val measure :
   nprocs:int ->
   ?config:Mpi_sim.Config.t ->
-  workload:(observer:Mpi_sim.Event.observer option -> Mpi_sim.Runtime.result) ->
+  ?jobs:int ->
+  workload:
+    (config:Mpi_sim.Config.t -> observer:Mpi_sim.Event.observer option -> Mpi_sim.Runtime.result) ->
   tool_kind ->
   metrics
 (** Runs the workload once under the given tool and collects metrics.
     The workload receives [None] for the baseline so it costs exactly
-    nothing. *)
+    nothing, and must run its simulation under the config it is given —
+    [measure] owns the config so tool-dependent switches (the
+    self-timing flip below) reach the runtime's cost charging. [jobs > 1] (default 1) runs analyzer-family tools on the
+    sharded {!Rma_par} engine and switches the config to
+    [analysis_self_timed] so detector cost is charged by the engine's
+    critical-path model instead of inline wall time — the bench [par]
+    experiment's epoch-time comparison. *)

@@ -160,6 +160,13 @@ let compare_records ?(threshold = 0.5) old_r new_r =
 
 let regressions deltas = List.filter (fun d -> d.regression) deltas
 
+let missing_from_baseline ~old_record ~new_record =
+  List.filter_map
+    (fun s ->
+      if List.exists (fun o -> String.equal o.name s.name) old_record.samples then None
+      else Some s.name)
+    new_record.samples
+
 let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
   let deltas = compare_records ~threshold old_record new_record in
   let module Table = Rma_util.Text_table in
@@ -189,8 +196,21 @@ let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
         ])
     shown;
   let regs = regressions deltas in
+  (* An experiment in the current run with no baseline sample is a
+     comparison failure, not something to skip silently: it means the
+     checked-in baseline predates the experiment and must be
+     regenerated, otherwise the new numbers are never tracked. *)
+  let missing = missing_from_baseline ~old_record ~new_record in
   let summary =
-    if deltas = [] then "no comparable metrics (disjoint experiment sets?)"
+    if missing <> [] then
+      Printf.sprintf
+        "FAIL: baseline %s has no sample for experiment%s %s present in the current run — \
+         regenerate the baseline record so %s tracked"
+        old_record.generator
+        (if List.length missing = 1 then "" else "s")
+        (String.concat ", " missing)
+        (if List.length missing = 1 then "it is" else "they are")
+    else if deltas = [] then "no comparable metrics (disjoint experiment sets?)"
     else if regs = [] then
       Printf.sprintf "OK: %d metrics compared, %d changed beyond 2%%, no regressions past +%.0f%%"
         (List.length deltas) (List.length shown) (100.0 *. threshold)
@@ -199,4 +219,4 @@ let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
         (List.length deltas) (100.0 *. threshold)
   in
   let body = if shown = [] then summary ^ "\n" else Table.render t ^ summary ^ "\n" in
-  (body, regs <> [])
+  (body, regs <> [] || missing <> [])

@@ -66,6 +66,15 @@ val compare_records : ?threshold:float -> record -> record -> delta list
 
 val regressions : delta list -> delta list
 
+val missing_from_baseline : old_record:record -> new_record:record -> string list
+(** Experiment names sampled in the current run but absent from the
+    baseline — a stale checked-in baseline, not comparable data.
+    Empty when the baseline covers every current experiment. *)
+
 val render_comparison : ?threshold:float -> old_record:record -> new_record:record -> unit -> string * bool
 (** Human-readable per-metric table plus a verdict line; the boolean is
-    [true] when at least one regression fired. *)
+    [true] when at least one regression fired {e or} the baseline lacks
+    an experiment present in the current run (the verdict line then
+    names the missing experiments and asks for a baseline
+    regeneration — a clear failure instead of silently skipping the
+    untracked experiment). *)

@@ -17,6 +17,7 @@ let () =
       ("trace", Test_trace.suite);
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
+      ("par", Test_par.suite);
       ("oracle", Test_oracle.suite);
       ("graph500", Test_graph500.suite);
       ("memory", Test_memory.suite);

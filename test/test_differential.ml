@@ -209,8 +209,118 @@ let prop_legacy_agreement =
         accesses;
       true)
 
+(* --- analyzer determinism across shard counts --- *)
+
+(* Seeded event streams straight into the observer (no runtime): random
+   interleavings of accesses on 3 ranks × 2 windows with epoch cycling
+   and flushes, replayed on the sequential analyzer and on the sharded
+   engine at jobs ∈ {2, 4} (plus jobs = 4 with the coalescing batch
+   buffer). The engine's claim is byte-identity, so the comparison is
+   total: race count, every report (via the serialized JSON and SARIF
+   exports, which carry ids, provenance and flight-recorder histories),
+   the Algorithm 1 statistics, and the full per-tree interval state. *)
+
+let par_nprocs = 3
+let par_wins = 2
+
+let decode_events raw =
+  let events = ref [] in
+  let push e = events := e :: !events in
+  for w = 0 to par_wins - 1 do
+    push
+      (Mpi_sim.Event.Win_created { win = w; rank = 0; base = 0; size = 4096; sim_time = 0.0 });
+    for r = 0 to par_nprocs - 1 do
+      push (Mpi_sim.Event.Epoch_opened { win = w; rank = r; sim_time = 0.0 })
+    done
+  done;
+  List.iteri
+    (fun i (t, lo, len, k, x) ->
+      let rank = x mod par_nprocs and win = k mod par_wins in
+      let sim_time = float_of_int (i + 1) in
+      match t mod 10 with
+      | 8 ->
+          push (Mpi_sim.Event.Epoch_closed { win; rank; sim_time });
+          push (Mpi_sim.Event.Epoch_opened { win; rank; sim_time })
+      | 9 -> push (Mpi_sim.Event.Flushed { win; rank; target = None; sim_time })
+      | _ ->
+          let kind = List.nth Access_kind.all (k mod 5) in
+          let issuer = if Access_kind.is_local kind then rank else x mod par_nprocs in
+          let a = acc ~issuer ~seq:(i + 1) ~line:(1 + (t mod 6)) ~lo ~hi:(lo + len - 1) kind in
+          push
+            (Mpi_sim.Event.Access
+               { space = rank; access = a; win = Some win; relevant = true; on_stack = false; sim_time }))
+    raw;
+  for w = 0 to par_wins - 1 do
+    for r = 0 to par_nprocs - 1 do
+      push (Mpi_sim.Event.Epoch_closed { win = w; rank = r; sim_time = 1e6 })
+    done;
+    push (Mpi_sim.Event.Win_freed { win = w; rank = 0; sim_time = 1e6 })
+  done;
+  List.rev !events
+
+type analyzer_snapshot = {
+  s_count : int;
+  s_summary : Rma_analysis.Tool.bst_summary;
+  s_trees : ((int * Mpi_sim.Event.win_id) * Access.t list) list;
+  s_json : string;
+  s_sarif : string;
+}
+
+let analyzer_replay ~jobs ~batch events =
+  let tool, dump =
+    Rma_analysis.Rma_analyzer.create_inspectable ~nprocs:par_nprocs
+      ~mode:Rma_analysis.Tool.Collect ~batch_inserts:batch ~jobs ~queue_capacity:4
+      Rma_analysis.Rma_analyzer.Contribution
+  in
+  List.iter (fun e -> ignore (tool.Rma_analysis.Tool.observer e)) events;
+  let races = tool.Rma_analysis.Tool.races () in
+  {
+    s_count = tool.Rma_analysis.Tool.race_count ();
+    s_summary = tool.Rma_analysis.Tool.bst_summary ();
+    s_trees = dump ();
+    s_json = Rma_util.Json.to_string (Rma_report.Race_export.to_json ~generator:"diff" races);
+    s_sarif = Rma_util.Json.to_string (Rma_report.Race_export.to_sarif ~generator:"diff" races);
+  }
+
+let check_snapshot_equal ~name reference got =
+  if got.s_count <> reference.s_count then
+    QCheck.Test.fail_reportf "%s: race count differs: jobs=1 %d, got %d" name reference.s_count
+      got.s_count;
+  if got.s_summary <> reference.s_summary then
+    QCheck.Test.fail_reportf "%s: bst_summary differs (nodes %d vs %d, inserts %d vs %d)" name
+      reference.s_summary.Rma_analysis.Tool.nodes_final_total
+      got.s_summary.Rma_analysis.Tool.nodes_final_total
+      reference.s_summary.Rma_analysis.Tool.inserts_total
+      got.s_summary.Rma_analysis.Tool.inserts_total;
+  let trees_equal =
+    List.equal
+      (fun (k1, l1) (k2, l2) -> k1 = k2 && List.equal Access.equal l1 l2)
+      reference.s_trees got.s_trees
+  in
+  if not trees_equal then
+    QCheck.Test.fail_reportf "%s: interval state differs (%d vs %d trees)" name
+      (List.length reference.s_trees) (List.length got.s_trees);
+  if not (String.equal reference.s_json got.s_json) then
+    QCheck.Test.fail_reportf "%s: JSON export not byte-identical:@.%s@.vs@.%s" name
+      reference.s_json got.s_json;
+  if not (String.equal reference.s_sarif got.s_sarif) then
+    QCheck.Test.fail_reportf "%s: SARIF export not byte-identical" name
+
+let prop_analyzer_jobs_deterministic =
+  QCheck.Test.make ~name:"differential: analyzer byte-identical at jobs 1/2/4" ~count:150
+    arb_stream (fun raw ->
+      let events = decode_events raw in
+      let reference = analyzer_replay ~jobs:1 ~batch:false events in
+      List.iter
+        (fun (jobs, batch) ->
+          let name = Printf.sprintf "jobs=%d%s" jobs (if batch then "+batch" else "") in
+          check_snapshot_equal ~name reference (analyzer_replay ~jobs ~batch events))
+        [ (2, false); (4, false); (4, true) ];
+      true)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_batched_equals_unbatched;
     QCheck_alcotest.to_alcotest prop_legacy_agreement;
+    QCheck_alcotest.to_alcotest prop_analyzer_jobs_deterministic;
   ]

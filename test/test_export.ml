@@ -232,6 +232,32 @@ let test_compare_ignores_sub_ms_noise () =
   Alcotest.(check int) "sub-millisecond wall times never regress" 0
     (List.length Perf_trajectory.(regressions (compare_records old_r new_r)))
 
+let test_compare_fails_on_missing_baseline_experiment () =
+  (* A baseline predating the "par" experiment: the comparison must fail
+     with a message naming the missing experiment, not skip it silently
+     and not raise. *)
+  let old_r = record [ sample "fig10" 1.0 [ ("nodes", 100.0) ] ] in
+  let new_r =
+    record [ sample "fig10" 1.0 [ ("nodes", 100.0) ]; sample "par" 0.5 [ ("par_j4_speedup", 1.9) ] ]
+  in
+  Alcotest.(check (list string))
+    "missing experiment detected" [ "par" ]
+    (Perf_trajectory.missing_from_baseline ~old_record:old_r ~new_record:new_r);
+  let body, failed =
+    Perf_trajectory.render_comparison ~old_record:old_r ~new_record:new_r ()
+  in
+  Alcotest.(check bool) "comparison fails" true failed;
+  Alcotest.(check bool) "message names the experiment" true
+    (Astring.String.is_infix ~affix:"par" body && Astring.String.is_infix ~affix:"baseline" body);
+  (* The reverse direction stays tolerated: a baseline with extra
+     experiments (e.g. a retired one) still compares clean. *)
+  let body', failed' =
+    Perf_trajectory.render_comparison ~old_record:new_r ~new_record:old_r ()
+  in
+  Alcotest.(check bool) "extra baseline experiments do not fail" false failed';
+  Alcotest.(check bool) "and render a clean verdict" true
+    (Astring.String.is_infix ~affix:"OK" body')
+
 let suite =
   [
     Alcotest.test_case "disabled recorder is a no-op" `Quick test_recorder_disabled_noop;
@@ -258,4 +284,6 @@ let suite =
       test_compare_threshold_is_configurable;
     Alcotest.test_case "compare: sub-millisecond wall noise ignored" `Quick
       test_compare_ignores_sub_ms_noise;
+    Alcotest.test_case "compare: missing baseline experiment is a clear failure" `Quick
+      test_compare_fails_on_missing_baseline_experiment;
   ]
