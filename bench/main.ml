@@ -12,6 +12,8 @@
                                               -- perf-trajectory record
      dune exec bench/main.exe -- --compare old.json new.json
      dune exec bench/main.exe -- --compare old.json new.json --threshold 0.25
+     dune exec bench/main.exe -- --fault-plan seed=7,worker_crash=0.05 --jobs 4 fig10
+     dune exec bench/main.exe -- --budget 4096:spill fig11
 
    Scale notes: MiniVite inputs default to one tenth of the paper's
    640k/1,280k vertices so the full sweep finishes in minutes; rank
@@ -393,6 +395,20 @@ let () =
         parse rest
     | "--jobs" :: v :: rest ->
         Rma_par.set_default_jobs (int_of_string v);
+        parse rest
+    | "--fault-plan" :: v :: rest ->
+        (match Rma_fault.Plan.of_spec v with
+        | Ok plan -> Rma_fault.install plan
+        | Error msg ->
+            Printf.eprintf "bench: bad --fault-plan %S: %s\n" v msg;
+            exit 2);
+        parse rest
+    | "--budget" :: v :: rest ->
+        (match Rma_fault.Budget.of_spec v with
+        | Ok budget -> Rma_fault.Budget.set_default (Some budget)
+        | Error msg ->
+            Printf.eprintf "bench: bad --budget %S: %s\n" v msg;
+            exit 2);
         parse rest
     | arg :: rest ->
         selected := arg :: !selected;

@@ -25,6 +25,8 @@ type diag_opts = {
   races_sarif : string option;
   batch_inserts : bool;
   jobs : int option;
+  fault_plan : string option;
+  budget : string option;
 }
 
 let wants_races opts = opts.races_json <> None || opts.races_sarif <> None
@@ -98,12 +100,47 @@ let diag_term =
              sequential analyzer). 1 = sequential. Same as setting $(b,RMA_JOBS). Baseline and \
              MUST ignore it.")
   in
-  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif batch_inserts jobs =
-    { obs_out; obs_summary; obs_prometheus; obs_sample; races_json; races_sarif; batch_inserts; jobs }
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"SPEC"
+          ~doc:
+            "Install a deterministic fault-injection plan for the run, e.g. \
+             $(b,seed=42,worker_crash=0.05,queue_overflow=0.02). Sites: trace_corrupt, \
+             trace_truncate, worker_crash, queue_overflow; worker crashes are recovered by \
+             replaying the shard journal at the next epoch barrier. Same as setting \
+             $(b,RMA_FAULT).")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "budget" ] ~docv:"SPEC"
+          ~doc:
+            "Bound every interval store, e.g. $(b,nodes=4096,policy=spill) or the shorthand \
+             $(b,4096:spill). Policies: fail (raise on overflow), spill (drop oldest completed \
+             epoch, counted in degraded_drops), coarsen (merge ignoring debug info, downgraded \
+             confidence in SARIF). Same as setting $(b,RMA_BUDGET).")
+  in
+  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif batch_inserts jobs
+      fault_plan budget =
+    {
+      obs_out;
+      obs_summary;
+      obs_prometheus;
+      obs_sample;
+      races_json;
+      races_sarif;
+      batch_inserts;
+      jobs;
+      fault_plan;
+      budget;
+    }
   in
   Term.(
     const mk $ out $ summary $ prometheus $ sample $ races_json $ races_sarif $ batch_inserts
-    $ jobs)
+    $ jobs $ fault_plan $ budget)
 
 let generator = "rma_race"
 
@@ -123,6 +160,26 @@ let with_diag opts f =
   if opts.batch_inserts then Rma_store.Disjoint_store.set_batch_default true;
   (* Ditto for the shard count: tools snapshot it at creation. *)
   Option.iter Rma_par.set_default_jobs opts.jobs;
+  (* Fault plan and budget likewise precede tool creation: the plan's
+     ordinal counters start from zero for the run, and stores snapshot
+     the default budget in their constructor. A bad spec is a usage
+     error, not a crash mid-run. *)
+  Option.iter
+    (fun spec ->
+      match Rma_fault.Plan.of_spec spec with
+      | Ok plan -> Rma_fault.install plan
+      | Error msg ->
+          Printf.eprintf "rma_race: bad --fault-plan %S: %s\n%!" spec msg;
+          exit 124)
+    opts.fault_plan;
+  Option.iter
+    (fun spec ->
+      match Rma_fault.Budget.of_spec spec with
+      | Ok budget -> Rma_fault.Budget.set_default (Some budget)
+      | Error msg ->
+          Printf.eprintf "rma_race: bad --budget %S: %s\n%!" spec msg;
+          exit 124)
+    opts.budget;
   let obs_export () =
     if active then begin
       let write_file what write path =
@@ -192,9 +249,14 @@ let print_tool_outcome tool =
     (fun i r -> if i < 5 then Printf.printf "  %s\n" (Report.to_message r))
     (tool.Tool.races ());
   let b = tool.Tool.bst_summary () in
-  if b.Tool.inserts_total > 0 then
+  if b.Tool.inserts_total > 0 then begin
     Printf.printf "BST: %d trees, %d nodes final, %d peak, %d inserts, %d merges\n" b.Tool.stores
-      b.Tool.nodes_final_total b.Tool.nodes_peak_total b.Tool.inserts_total b.Tool.merges_total
+      b.Tool.nodes_final_total b.Tool.nodes_peak_total b.Tool.inserts_total b.Tool.merges_total;
+    if b.Tool.degraded_drops_total > 0 then
+      Printf.printf
+        "DEGRADED: budget governance dropped/coarsened %d nodes — detection was best-effort\n"
+        b.Tool.degraded_drops_total
+  end
 
 (* --- suite --- *)
 

@@ -7,10 +7,18 @@ type provenance = {
   vclock : (int * int) list option;
   existing_history : Flight_recorder.origin list;
   incoming_history : Flight_recorder.origin list;
+  degraded : bool;
 }
 
 let empty_provenance =
-  { id = 0; epoch = None; vclock = None; existing_history = []; incoming_history = [] }
+  {
+    id = 0;
+    epoch = None;
+    vclock = None;
+    existing_history = [];
+    incoming_history = [];
+    degraded = false;
+  }
 
 type t = {
   tool : string;

@@ -21,6 +21,14 @@ type provenance = {
           flight recorder. *)
   incoming_history : Rma_store.Flight_recorder.origin list;
       (** Same for the incoming side's byte range. *)
+  degraded : bool;
+      (** The detecting store had already dropped or coarsened nodes
+          under budget governance ([degraded_drops] in
+          {!Rma_store.Store_intf.stats}) when this race fired: the
+          report is real, but its provenance (and the completeness of
+          the surrounding run) is weakened. Exported as downgraded
+          confidence in SARIF (level [warning] plus a
+          [confidence: downgraded] property). *)
 }
 
 val empty_provenance : provenance

@@ -43,7 +43,17 @@ let store_to_list = function
    regions keep one uniform debug info by construction. *)
 let store_recorder = function D s -> Disjoint_store.recorder s | L _ | S _ -> None
 
-let store_note_epoch = function D s -> Disjoint_store.note_epoch s | L _ | S _ -> ()
+(* Every store tracks epoch boundaries now: the disjoint store stamps
+   its flight recorder, and all three move the governance watermark
+   that [Spill_oldest_epoch] eviction keys on. *)
+let store_note_epoch = function
+  | D s -> Disjoint_store.note_epoch s
+  | L s -> Legacy_store.note_epoch s
+  | S s -> Strided_store.note_epoch s
+
+(* Has budget governance ever dropped or coarsened a node of this
+   store? Races detected afterwards carry downgraded confidence. *)
+let store_degraded store = (store_stats store).Store_intf.degraded_drops > 0
 
 (* Only the disjoint store buffers inserts; the buffer must be drained
    before anything samples the tree (epoch-close node counts) so the
@@ -89,6 +99,9 @@ type state = {
   mode : Tool.mode;
   flush_clears : bool;
   batch_inserts : bool;
+  budget : Rma_fault.Budget.t option;
+      (* Explicit per-tool budget; [None] defers to the process default
+         at store creation (see Governor.create). *)
   policy : policy;
   name : string;
   max_reports : int;
@@ -107,21 +120,21 @@ type state = {
   mutable race_count : int;
 }
 
-let new_store ~batch policy =
+let new_store ~batch ?budget policy =
   match policy with
-  | Legacy -> L (Legacy_store.create ())
-  | Contribution -> D (Disjoint_store.create ~batch ())
-  | Fragmentation_only -> D (Disjoint_store.create ~merge:false ~batch ())
-  | Order_blind -> D (Disjoint_store.create ~order_aware:false ~batch ())
-  | Strided_extension -> S (Strided_store.create ())
+  | Legacy -> L (Legacy_store.create ?budget ())
+  | Contribution -> D (Disjoint_store.create ~batch ?budget ())
+  | Fragmentation_only -> D (Disjoint_store.create ~merge:false ~batch ?budget ())
+  | Order_blind -> D (Disjoint_store.create ~order_aware:false ~batch ?budget ())
+  | Strided_extension -> S (Strided_store.create ?budget ())
 
 let tree_for st key =
   match Hashtbl.find_opt st.trees key with
   | Some t -> t
   | None ->
       let t =
-        { store = new_store ~batch:st.batch_inserts st.policy; epoch_open = false;
-          nodes_at_last_close = None; epoch_span = None }
+        { store = new_store ~batch:st.batch_inserts ?budget:st.budget st.policy;
+          epoch_open = false; nodes_at_last_close = None; epoch_span = None }
       in
       Hashtbl.replace st.trees key t;
       t
@@ -154,8 +167,9 @@ let record_race st ~space ~win ~existing ~incoming ~sim_time ~provenance =
    accesses behind each side's byte range. *)
 let provenance_of st tree ~existing ~incoming =
   let id = st.race_count + 1 in
+  let degraded = store_degraded tree.store in
   match store_recorder tree.store with
-  | None -> { Report.empty_provenance with Report.id }
+  | None -> { Report.empty_provenance with Report.id; degraded }
   | Some r ->
       {
         Report.id;
@@ -163,19 +177,22 @@ let provenance_of st tree ~existing ~incoming =
         vclock = None;
         existing_history = Flight_recorder.history r existing.Access.interval;
         incoming_history = Flight_recorder.history r incoming.Access.interval;
+        degraded;
       }
 
 (* Worker-side provenance: like [provenance_of] minus the race id,
    which only exists once races are merged back into global order. *)
 let worker_provenance tree ~existing ~incoming =
+  let degraded = store_degraded tree.store in
   match store_recorder tree.store with
-  | None -> Report.empty_provenance
+  | None -> { Report.empty_provenance with Report.degraded = degraded }
   | Some r ->
       {
         Report.empty_provenance with
         Report.epoch = Some (Flight_recorder.current_epoch r);
         existing_history = Flight_recorder.history r existing.Access.interval;
         incoming_history = Flight_recorder.history r incoming.Access.interval;
+        degraded;
       }
 
 let insert_into st key access ~sim_time =
@@ -372,11 +389,13 @@ let bst_summary st () =
         inserts_total = acc.Tool.inserts_total + stats.Store_intf.inserts;
         fragments_total = acc.Tool.fragments_total + stats.Store_intf.fragments_created;
         merges_total = acc.Tool.merges_total + stats.Store_intf.merges_performed;
+        degraded_drops_total = acc.Tool.degraded_drops_total + stats.Store_intf.degraded_drops;
       })
     st.trees Tool.empty_bst_summary
 
 let make_state ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race)
-    ?(flush_clears = false) ?(max_reports = 1000) ?batch_inserts ?jobs ?queue_capacity policy =
+    ?(flush_clears = false) ?(max_reports = 1000) ?batch_inserts ?jobs ?queue_capacity ?budget
+    policy =
   let batch_inserts =
     match batch_inserts with Some b -> b | None -> Disjoint_store.batch_default_enabled ()
   in
@@ -402,6 +421,7 @@ let make_state ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race)
     mode;
     flush_clears;
     batch_inserts;
+    budget;
     policy;
     name = policy_name policy;
     max_reports;
@@ -442,16 +462,16 @@ let tool_of_state st =
   }
 
 let create ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs ?queue_capacity
-    policy =
+    ?budget policy =
   tool_of_state
     (make_state ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
-       ?queue_capacity policy)
+       ?queue_capacity ?budget policy)
 
 let create_inspectable ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
-    ?queue_capacity policy =
+    ?queue_capacity ?budget policy =
   let st =
     make_state ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
-      ?queue_capacity policy
+      ?queue_capacity ?budget policy
   in
   let dump () =
     ignore (sync st);

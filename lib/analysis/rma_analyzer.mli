@@ -38,6 +38,7 @@ val create :
   ?batch_inserts:bool ->
   ?jobs:int ->
   ?queue_capacity:int ->
+  ?budget:Rma_fault.Budget.t ->
   policy ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Abort_on_race],
@@ -45,7 +46,18 @@ val create :
     {!Rma_store.Disjoint_store.batch_default_enabled} (the CLI's
     [--batch-inserts] / the [RMA_BATCH_INSERTS] environment variable),
     [jobs] from {!Rma_par.default_jobs} (the CLI's [--jobs] / the
-    [RMA_JOBS] environment variable).
+    [RMA_JOBS] environment variable), [budget] from
+    {!Rma_fault.Budget.default} (the CLI's [--budget] / the
+    [RMA_BUDGET] environment variable).
+
+    A bounded [budget] applies to every (rank, window) store the
+    analyzer creates; when governance drops or coarsens nodes, the sum
+    appears in {!Tool.bst_summary.degraded_drops_total} and races
+    detected on a degraded store carry
+    [provenance.degraded = true] (downgraded confidence in SARIF).
+    Under [Fail_fast] the racing insert raises
+    {!Rma_fault.Budget.Exhausted} through the observer. See DESIGN.md
+    §11.
 
     [jobs > 1] runs every store operation on a sharded
     {!Rma_par} engine: (rank, window) trees are partitioned over [jobs]
@@ -85,6 +97,7 @@ val create_inspectable :
   ?batch_inserts:bool ->
   ?jobs:int ->
   ?queue_capacity:int ->
+  ?budget:Rma_fault.Budget.t ->
   policy ->
   Tool.t * (unit -> ((int * Mpi_sim.Event.win_id) * Rma_access.Access.t list) list)
 (** {!create} plus a dump of the analyzer's interval state: for each

@@ -7,6 +7,7 @@ type bst_summary = {
   inserts_total : int;
   fragments_total : int;
   merges_total : int;
+  degraded_drops_total : int;
 }
 
 let empty_bst_summary =
@@ -17,6 +18,7 @@ let empty_bst_summary =
     inserts_total = 0;
     fragments_total = 0;
     merges_total = 0;
+    degraded_drops_total = 0;
   }
 
 type t = {

@@ -17,6 +17,11 @@ type bst_summary = {
   inserts_total : int;
   fragments_total : int;
   merges_total : int;
+  degraded_drops_total : int;
+      (** Sum over trees of nodes evicted or coarsened away by budget
+          governance ({!Rma_store.Governor}); non-zero means the run
+          degraded and its verdicts may be incomplete — surfaced as
+          [degraded_drops] in {!Rma_report.Harness.metrics}. *)
 }
 
 val empty_bst_summary : bst_summary

@@ -27,10 +27,11 @@ val make :
   ?mode:Tool.mode ->
   ?batch_inserts:bool ->
   ?jobs:int ->
+  ?budget:Rma_fault.Budget.t ->
   unit ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Collect],
-    [batch_inserts] and [jobs] from the process-wide defaults (see
-    {!Rma_analyzer.create}); [batch_inserts] only affects the
-    disjoint-store policies, and [jobs] the analyzer family ([Baseline]
-    and [Must] ignore it). *)
+    [batch_inserts], [jobs] and [budget] from the process-wide defaults
+    (see {!Rma_analyzer.create}); [batch_inserts] only affects the
+    disjoint-store policies, [jobs] the analyzer family ([Baseline] and
+    [Must] ignore it), and [budget] every store-backed tool. *)

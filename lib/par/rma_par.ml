@@ -12,6 +12,22 @@ let obs_barrier_wait_ns =
 
 let obs_barriers = Obs.counter ~help:"Epoch barriers completed" "par.barriers"
 
+let obs_worker_crashes =
+  Obs.counter ~help:"Injected shard-worker crashes (Rma_fault Worker_crash site)"
+    "par.worker_crashes"
+
+let obs_shard_recoveries =
+  Obs.counter ~help:"Crashed shards successfully restarted and their journals replayed"
+    "par.shard_recoveries"
+
+let obs_recovery_fallbacks =
+  Obs.counter ~help:"Shards degraded to inline sequential execution after exhausting retries"
+    "par.recovery_fallbacks"
+
+let obs_queue_overflows =
+  Obs.counter ~help:"Injected queue overflows degraded to inline execution"
+    "par.queue_overflows"
+
 (* The pool is deliberately small: the analyzer's shards are coarse
    (whole interval trees), and the OCaml runtime caps live domains, so a
    process must never spawn domains per engine. *)
@@ -82,7 +98,17 @@ type shard = {
          caller after a barrier. Both sides order their access through
          the engine mutex (the worker's completion decrement, the
          caller's barrier wait), so no torn or stale reads. *)
+  mutable crashed : bool;
+      (* Caller-thread only: an injected Worker_crash was decided at a
+         submit boundary. While set, new tasks go to the journal instead
+         of the worker; the next barrier replays them. *)
+  journal : (unit -> unit) Queue.t;
+      (* Caller-thread only: tasks submitted at or after the crash, in
+         submission order — exactly the work queued since the last
+         barrier that the dead worker never ran. *)
 }
+
+type recovery_stats = { crashes : int; recoveries : int; fallbacks : int; overflows : int }
 
 type t = {
   n_jobs : int;
@@ -92,6 +118,10 @@ type t = {
   shards : shard array;
   mutable pend : int;
   mutable failure : exn option;
+  mutable crashes : int;  (* caller-thread only, like the rest below *)
+  mutable recoveries : int;
+  mutable fallbacks : int;
+  mutable overflows : int;
 }
 
 let create ?jobs ?(queue_capacity = 1024) () =
@@ -102,9 +132,15 @@ let create ?jobs ?(queue_capacity = 1024) () =
     queue_capacity = max 1 queue_capacity;
     mu = Mutex.create ();
     changed = Condition.create ();
-    shards = Array.init n_jobs (fun _ -> { inflight = 0; work_seconds = 0.0 });
+    shards =
+      Array.init n_jobs (fun _ ->
+          { inflight = 0; work_seconds = 0.0; crashed = false; journal = Queue.create () });
     pend = 0;
     failure = None;
+    crashes = 0;
+    recoveries = 0;
+    fallbacks = 0;
+    overflows = 0;
   }
 
 let jobs t = t.n_jobs
@@ -115,7 +151,7 @@ let shard_of t ~space ~win =
   let h = (space * 0x9e3779b1) lxor (win * 0x85ebca77) in
   (h land max_int) mod t.n_jobs
 
-let submit t ~shard f =
+let dispatch t ~shard f =
   let sh = t.shards.(shard) in
   Mutex.lock t.mu;
   while sh.inflight >= t.queue_capacity do
@@ -146,12 +182,110 @@ let submit t ~shard f =
   Condition.signal w.w_nonempty;
   Mutex.unlock w.w_mu
 
-let barrier t =
+(* Run a task on the calling thread with worker semantics: time is
+   charged to the shard's accumulator and an exception is stashed for
+   the next barrier rather than raised at the submit site. *)
+let run_inline t sh f =
   let t0 = Rma_util.Timer.now () in
+  let err = (try f (); None with e -> Some e) in
+  sh.work_seconds <- sh.work_seconds +. (Rma_util.Timer.now () -. t0);
+  match (err, t.failure) with Some e, None -> t.failure <- Some e | _ -> ()
+
+let wait_shard_idle t sh =
+  Mutex.lock t.mu;
+  while sh.inflight > 0 do
+    Condition.wait t.changed t.mu
+  done;
+  Mutex.unlock t.mu
+
+let drain t =
   Mutex.lock t.mu;
   while t.pend > 0 do
     Condition.wait t.changed t.mu
   done;
+  Mutex.unlock t.mu
+
+let crash_shard t sh f =
+  sh.crashed <- true;
+  t.crashes <- t.crashes + 1;
+  Obs.incr obs_worker_crashes;
+  Queue.push f sh.journal
+
+let submit t ~shard f =
+  let sh = t.shards.(shard) in
+  if sh.crashed then Queue.push f sh.journal
+  else if not (Rma_fault.active ()) then dispatch t ~shard f
+  else if Rma_fault.fire Rma_fault.Worker_crash then crash_shard t sh f
+  else if Rma_fault.fire Rma_fault.Queue_overflow then begin
+    (* Overflow degrades this one task to inline execution; draining the
+       shard first preserves the per-shard submission order. *)
+    t.overflows <- t.overflows + 1;
+    Obs.incr obs_queue_overflows;
+    wait_shard_idle t sh;
+    run_inline t sh f
+  end
+  else dispatch t ~shard f
+
+(* Busy-wait backoff: the engine has no Unix dependency and the delays
+   in a fault plan are tiny test knobs, not production sleeps. *)
+let backoff_wait seconds =
+  if seconds > 0.0 then begin
+    let until = Rma_util.Timer.now () +. seconds in
+    while Rma_util.Timer.now () < until do
+      Domain.cpu_relax ()
+    done
+  end
+
+(* Restart every crashed shard and replay its journal, retrying up to
+   the plan's [max_retries]; replayed submissions pass through the
+   Worker_crash injection point again, so a replay can deterministically
+   re-crash. Exhausted retries run the remaining journal inline on the
+   calling thread (sequential degrade) — analysis always completes, and
+   because the journal preserves submission order the verdicts are the
+   sequential ones either way. Caller thread only, called at barriers. *)
+let recover t =
+  let plan = match Rma_fault.plan () with Some p -> p | None -> Rma_fault.Plan.default in
+  Array.iteri
+    (fun shard sh ->
+      if sh.crashed then begin
+        let attempts = ref 0 in
+        while sh.crashed && !attempts < plan.Rma_fault.Plan.max_retries do
+          incr attempts;
+          backoff_wait plan.Rma_fault.Plan.backoff;
+          sh.crashed <- false;
+          let replay = Queue.create () in
+          Queue.transfer sh.journal replay;
+          Queue.iter
+            (fun f ->
+              if sh.crashed then Queue.push f sh.journal
+              else if Rma_fault.fire Rma_fault.Worker_crash then crash_shard t sh f
+              else dispatch t ~shard f)
+            replay;
+          drain t;
+          if not sh.crashed then begin
+            t.recoveries <- t.recoveries + 1;
+            Obs.incr obs_shard_recoveries
+          end
+        done;
+        if sh.crashed then begin
+          (* Sequential fallback: no more injection, the work must land. *)
+          sh.crashed <- false;
+          t.fallbacks <- t.fallbacks + 1;
+          Obs.incr obs_recovery_fallbacks;
+          while not (Queue.is_empty sh.journal) do
+            run_inline t sh (Queue.pop sh.journal)
+          done
+        end
+      end)
+    t.shards
+
+let has_crashed t = Array.exists (fun sh -> sh.crashed) t.shards
+
+let barrier t =
+  let t0 = Rma_util.Timer.now () in
+  drain t;
+  if has_crashed t then recover t;
+  Mutex.lock t.mu;
   let err = t.failure in
   t.failure <- None;
   Mutex.unlock t.mu;
@@ -160,6 +294,9 @@ let barrier t =
     Obs.observe obs_barrier_wait_ns ((Rma_util.Timer.now () -. t0) *. 1e9)
   end;
   match err with Some e -> raise e | None -> ()
+
+let recovery_stats t =
+  { crashes = t.crashes; recoveries = t.recoveries; fallbacks = t.fallbacks; overflows = t.overflows }
 
 let pending t =
   Mutex.lock t.mu;

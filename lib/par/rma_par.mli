@@ -22,7 +22,24 @@
     only shard-private state. All Obs metrics ([par.shard_inserts],
     [par.queue_depth], [par.barrier_wait_ns], [par.barriers]) are
     recorded on the calling thread — the Obs registry is not
-    thread-safe, so tasks must never log to it. *)
+    thread-safe, so tasks must never log to it.
+
+    {b Fault tolerance} (DESIGN.md §11): when an {!Rma_fault} plan is
+    installed, every {!submit} passes the [Worker_crash] and
+    [Queue_overflow] injection points {e on the calling thread} — which
+    is what keeps the fault schedule deterministic under any worker
+    interleaving. A crashed shard journals its unexecuted tasks in
+    submission order; the next {!barrier} restarts the shard and
+    replays the journal, retrying up to the plan's [max_retries]
+    (waiting [backoff] seconds between attempts) before degrading the
+    remaining journal to inline sequential execution. An overflowed
+    submit degrades that single task to inline execution after the
+    shard drains. Every degradation path preserves per-shard submission
+    order and runs each task exactly once, so engine-level faults are
+    always verdict-preserving — recoveries are visible on the
+    [par.worker_crashes], [par.shard_recoveries],
+    [par.recovery_fallbacks] and [par.queue_overflows] Obs counters and
+    in {!recovery_stats}. *)
 
 type t
 
@@ -59,15 +76,32 @@ val submit : t -> shard:int -> (unit -> unit) -> unit
     while the shard already has [queue_capacity] tasks in flight
     (back-pressure); never blocks a worker, so barriers cannot
     deadlock. A task that raises stashes its exception for the next
-    {!barrier} instead of killing the worker. *)
+    {!barrier} instead of killing the worker. Under an installed
+    {!Rma_fault} plan this is also the crash/overflow injection point
+    (see the module preamble); tasks journaled by a crashed shard run
+    at the next {!barrier}. *)
 
 val barrier : t -> unit
-(** Wait until every task submitted to this engine has completed, then
+(** Wait until every task submitted to this engine has completed —
+    recovering crashed shards and replaying their journals first — then
     re-raise the first stashed task exception, if any. Records the wait
     in [par.barrier_wait_ns]. *)
 
 val pending : t -> int
-(** Tasks submitted but not yet completed (diagnostic; caller thread). *)
+(** Tasks submitted but not yet completed (diagnostic; caller thread).
+    Journaled tasks of a crashed shard are not counted — they run at
+    the next {!barrier}. *)
+
+type recovery_stats = {
+  crashes : int;  (** Injected worker crashes (including during replay). *)
+  recoveries : int;  (** Successful restart-and-replay cycles. *)
+  fallbacks : int;  (** Shards degraded to inline sequential execution. *)
+  overflows : int;  (** Submits degraded to inline execution by queue overflow. *)
+}
+
+val recovery_stats : t -> recovery_stats
+(** Cumulative fault-recovery counters for this engine (caller
+    thread); all zero when no fault plan ever fired. *)
 
 val take_work_seconds : t -> float
 (** Critical-path cost model: the maximum over shards of wall-clock

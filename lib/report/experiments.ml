@@ -335,6 +335,7 @@ type perf_row = {
   nodes_peak : int;
   races : int;
   dropped : int;
+  degraded : int;
 }
 
 let perf_row_of_metrics (m : Harness.metrics) =
@@ -348,13 +349,19 @@ let perf_row_of_metrics (m : Harness.metrics) =
     nodes_peak = m.Harness.nodes_peak;
     races = m.Harness.races;
     dropped = m.Harness.dropped_races;
+    degraded = m.Harness.degraded_drops;
   }
 
-(* Race counts render with their truncation: "1203 (203 dropped)" says
-   the stored list stops at the report cap. *)
+(* Race counts render with their truncation and degradation: "1203 (203
+   dropped)" says the stored list stops at the report cap; "degraded:4"
+   says the governor spilled or coarsened 4 nodes, so the verdict is
+   best-effort (DESIGN.md §11). *)
 let cell_reports r =
-  if r.dropped > 0 then Printf.sprintf "%d (%d dropped)" r.races r.dropped
-  else string_of_int r.races
+  let base =
+    if r.dropped > 0 then Printf.sprintf "%d (%d dropped)" r.races r.dropped
+    else string_of_int r.races
+  in
+  if r.degraded > 0 then Printf.sprintf "%s [degraded:%d]" base r.degraded else base
 
 let fig10 ?(nprocs = 12) ?(repeats = 2) () =
   let params = Cfd_proxy.Halo.default_params in

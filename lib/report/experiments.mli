@@ -64,6 +64,9 @@ type perf_row = {
   nodes_peak : int;  (** Peak live BST nodes (memory high-water mark). *)
   races : int;
   dropped : int;  (** Reports past the tool's [max_reports] cap. *)
+  degraded : int;
+      (** Nodes spilled/coarsened by the resource governor — nonzero
+          marks a best-effort verdict (see {!Harness.metrics}). *)
 }
 
 val fig10 : ?nprocs:int -> ?repeats:int -> unit -> perf_row list * string

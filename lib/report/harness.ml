@@ -25,6 +25,7 @@ type metrics = {
   makespan : float;
   races : int;
   dropped_races : int;
+  degraded_drops : int;
   nodes_final : int;
   nodes_peak : int;
   trees : int;
@@ -65,6 +66,7 @@ let measure ~nprocs ?(config = Mpi_sim.Config.default) ?(jobs = 1) ~workload kin
     makespan = result.Mpi_sim.Runtime.makespan;
     races = tool.Tool.race_count ();
     dropped_races = Tool.dropped_races tool;
+    degraded_drops = b.Tool.degraded_drops_total;
     nodes_final = b.Tool.nodes_final_total;
     nodes_peak = b.Tool.nodes_peak_total;
     trees = b.Tool.stores;

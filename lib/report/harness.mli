@@ -34,6 +34,12 @@ type metrics = {
       (** Reports past the tool's [max_reports] cap — nonzero means the
           tables above under-show the stored race list (truncation made
           visible, satellite of the provenance pipeline). *)
+  degraded_drops : int;
+      (** Interval nodes spilled or coarsened away by the resource
+          governor ({!Rma_fault.Budget}) across every store the tool
+          created. Nonzero means the run finished in degraded mode: the
+          verdict is best-effort, and its races carry
+          [provenance.degraded = true] (see DESIGN.md §11). *)
   nodes_final : int;
   nodes_peak : int;
   trees : int;  (** (rank, window) trees the tool created. *)

@@ -167,6 +167,13 @@ let missing_from_baseline ~old_record ~new_record =
       else Some s.name)
     new_record.samples
 
+let missing_from_candidate ~old_record ~new_record =
+  List.filter_map
+    (fun s ->
+      if List.exists (fun n -> String.equal n.name s.name) new_record.samples then None
+      else Some s.name)
+    old_record.samples
+
 let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
   let deltas = compare_records ~threshold old_record new_record in
   let module Table = Rma_util.Text_table in
@@ -199,8 +206,12 @@ let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
   (* An experiment in the current run with no baseline sample is a
      comparison failure, not something to skip silently: it means the
      checked-in baseline predates the experiment and must be
-     regenerated, otherwise the new numbers are never tracked. *)
+     regenerated, otherwise the new numbers are never tracked. The
+     reverse holds too: a baseline experiment the candidate never ran
+     would otherwise let a run that silently dropped (or crashed out of)
+     an experiment pass the gate with fewer comparisons. *)
   let missing = missing_from_baseline ~old_record ~new_record in
+  let lost = missing_from_candidate ~old_record ~new_record in
   let summary =
     if missing <> [] then
       Printf.sprintf
@@ -210,6 +221,13 @@ let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
         (if List.length missing = 1 then "" else "s")
         (String.concat ", " missing)
         (if List.length missing = 1 then "it is" else "they are")
+    else if lost <> [] then
+      Printf.sprintf
+        "FAIL: candidate %s is missing baseline experiment%s %s — the run dropped coverage, so \
+         these metrics are no longer tracked"
+        new_record.generator
+        (if List.length lost = 1 then "" else "s")
+        (String.concat ", " lost)
     else if deltas = [] then "no comparable metrics (disjoint experiment sets?)"
     else if regs = [] then
       Printf.sprintf "OK: %d metrics compared, %d changed beyond 2%%, no regressions past +%.0f%%"
@@ -219,4 +237,4 @@ let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
         (List.length deltas) (100.0 *. threshold)
   in
   let body = if shown = [] then summary ^ "\n" else Table.render t ^ summary ^ "\n" in
-  (body, regs <> [] || missing <> [])
+  (body, regs <> [] || missing <> [] || lost <> [])

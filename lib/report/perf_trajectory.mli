@@ -71,10 +71,16 @@ val missing_from_baseline : old_record:record -> new_record:record -> string lis
     baseline — a stale checked-in baseline, not comparable data.
     Empty when the baseline covers every current experiment. *)
 
+val missing_from_candidate : old_record:record -> new_record:record -> string list
+(** The other direction: baseline experiments the candidate run never
+    sampled. Nonempty means the run dropped coverage (an experiment was
+    deselected, renamed, or crashed out), so its metrics would silently
+    stop being tracked. *)
+
 val render_comparison : ?threshold:float -> old_record:record -> new_record:record -> unit -> string * bool
 (** Human-readable per-metric table plus a verdict line; the boolean is
-    [true] when at least one regression fired {e or} the baseline lacks
-    an experiment present in the current run (the verdict line then
-    names the missing experiments and asks for a baseline
-    regeneration — a clear failure instead of silently skipping the
-    untracked experiment). *)
+    [true] when at least one regression fired {e or} either record lacks
+    an experiment the other has ({!missing_from_baseline} /
+    {!missing_from_candidate} — the verdict line then names the missing
+    experiments; a clear failure instead of silently skipping the
+    untracked experiment in either direction). *)

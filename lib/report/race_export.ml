@@ -53,6 +53,7 @@ let json_of_report (r : Report.t) =
         | None -> Json.Null );
       ("existing_history", Json.List (List.map json_of_origin p.Report.existing_history));
       ("incoming_history", Json.List (List.map json_of_origin p.Report.incoming_history));
+      ("degraded", Json.Bool p.Report.degraded);
     ]
 
 let to_json ~generator reports =
@@ -157,7 +158,10 @@ let report_of_json j =
     let* l = field "incoming_history" Json.to_list j in
     map_result origin_of_json l
   in
-  let provenance = { Report.id; epoch; vclock; existing_history; incoming_history } in
+  (* Optional with a [false] default so pre-governance race files still load. *)
+  let* degraded = opt_field "degraded" Json.to_bool j in
+  let degraded = Option.value degraded ~default:false in
+  let provenance = { Report.id; epoch; vclock; existing_history; incoming_history; degraded } in
   Ok (Report.make ~tool ~space ~win ~existing ~incoming ~sim_time ~provenance ())
 
 let of_json j =
@@ -246,10 +250,18 @@ let sarif_result (r : Report.t) =
           ]
     | None -> properties
   in
+  (* A race found on a budget-degraded store may rest on coarsened or
+     spilled intervals: keep it visible but downgrade it so triage can
+     rank exact verdicts above best-effort ones (DESIGN.md §11). *)
+  let level, properties =
+    if p.Report.degraded then
+      ("warning", properties @ [ ("confidence", Json.String "downgraded") ])
+    else ("error", properties)
+  in
   Json.Obj
     [
       ("ruleId", Json.String rule_id);
-      ("level", Json.String "error");
+      ("level", Json.String level);
       ("message", Json.Obj [ ("text", Json.String (Report.to_message r)) ]);
       ( "locations",
         Json.List

@@ -23,6 +23,9 @@ type t = {
   recorder : Flight_recorder.t option;
       (* Present iff Flight_recorder.is_enabled () held at creation; the
          disabled cost is this option match per insert. *)
+  gov : Governor.t option;
+      (* Present iff the store was created under a bounded budget;
+         ungoverned inserts pay one option match. *)
   mutable batching : bool;
   mutable pending : pending list;  (* most recently touched first *)
   mutable peak_nodes : int;
@@ -51,7 +54,13 @@ let set_batch_default v = batch_default := v
 
 let batch_default_enabled () = !batch_default
 
-let create ?(order_aware = true) ?(merge = true) ?(fast_path = true) ?batch () =
+(* Rough resident cost of one tree node: the AVL node (5 words), the
+   access record (5 words), its interval (3 words) and a one-word share
+   of the debug-info strings — 14 words = 112 bytes on 64-bit. Only
+   used to translate a [max_bytes] budget into a node cap. *)
+let approx_node_bytes = 112
+
+let create ?(order_aware = true) ?(merge = true) ?(fast_path = true) ?batch ?budget () =
   let fast_path = fast_path && merge in
   let batching = (match batch with Some b -> b | None -> !batch_default) && fast_path in
   {
@@ -60,6 +69,7 @@ let create ?(order_aware = true) ?(merge = true) ?(fast_path = true) ?batch () =
     merge;
     fast_path;
     recorder = Flight_recorder.create ();
+    gov = Governor.create ?budget ~bytes_per_node:approx_node_bytes ();
     batching;
     pending = [];
     peak_nodes = 0;
@@ -178,7 +188,42 @@ let note_epoch t =
      node sampling and per-epoch recorder stamps must see the same tree
      the unbatched store would. *)
   flush_pending t;
+  Governor.note_epoch t.gov;
   match t.recorder with Some r -> Flight_recorder.note_epoch r | None -> ()
+
+(* {2 Budget governance — DESIGN.md §11} *)
+
+let spill t g =
+  let victims =
+    Governor.spill_victims g ~size:(size t)
+      ~seq_of:(fun a -> a.Access.seq)
+      (Avl.to_list t.tree)
+  in
+  List.iter (fun a -> ignore (Avl.remove t.tree a)) victims;
+  Governor.record_drops g (List.length victims)
+
+let coarsen t g =
+  let merged, n = Governor.coarsen_accesses (Avl.to_list t.tree) in
+  if n > 0 then begin
+    Avl.clear t.tree;
+    List.iter (fun a -> Avl.insert t.tree a) merged;
+    Governor.record_drops g n
+  end
+
+let enforce_budget t =
+  match t.gov with
+  | None -> ()
+  | Some g ->
+      if Governor.over g ~size:(size t) then begin
+        (* Victim selection needs every node in the tree. *)
+        flush_pending t;
+        match (Governor.budget g).Rma_fault.Budget.policy with
+        | Rma_fault.Budget.Fail_fast -> Governor.exhausted ~store:"disjoint" ~size:(size t) g
+        | Rma_fault.Budget.Spill_oldest_epoch -> spill t g
+        | Rma_fault.Budget.Coarsen ->
+            coarsen t g;
+            if Governor.over g ~size:(size t) then spill t g
+      end
 
 let batch_begin t = if t.fast_path then t.batching <- true
 
@@ -300,14 +345,22 @@ let try_seed t access =
 
 let insert_uninstrumented t access =
   t.inserts <- t.inserts + 1;
-  if not t.fast_path then slow_insert t access
-  else
-    match try_coalesce t access with
-    | Some hit -> apply_coalesce t access hit
-    | None ->
-        let iv = access.Access.interval in
-        flush_interacting t ~wlo:(Interval.lo iv - 1) ~whi:(Interval.hi iv + 1);
-        if try_seed t access then Store_intf.Inserted else slow_insert t access
+  let outcome =
+    if not t.fast_path then slow_insert t access
+    else
+      match try_coalesce t access with
+      | Some hit -> apply_coalesce t access hit
+      | None ->
+          let iv = access.Access.interval in
+          flush_interacting t ~wlo:(Interval.lo iv - 1) ~whi:(Interval.hi iv + 1);
+          if try_seed t access then Store_intf.Inserted else slow_insert t access
+  in
+  (match outcome with
+  | Store_intf.Inserted ->
+      Governor.observe_seq t.gov access.Access.seq;
+      enforce_budget t
+  | Store_intf.Race_detected _ -> ());
+  outcome
 
 let obs_insert_seconds =
   Obs.histogram ~help:"Wall time of one Disjoint_store.insert (Algorithm 1)"
@@ -342,6 +395,7 @@ let stats t =
     merges_performed = t.merges_performed;
     race_checks = t.race_checks;
     tree_ops = Avl.ops t.tree;
+    degraded_drops = Governor.drops t.gov;
   }
 
 type fast_path_stats = { finger_hits : int; batch_coalesced : int; batch_flushes : int }

@@ -18,7 +18,9 @@
 
 type t
 
-val create : ?order_aware:bool -> ?merge:bool -> ?fast_path:bool -> ?batch:bool -> unit -> t
+val create :
+  ?order_aware:bool -> ?merge:bool -> ?fast_path:bool -> ?batch:bool ->
+  ?budget:Rma_fault.Budget.t -> unit -> t
 (** Defaults: [order_aware = true], [merge = true], [fast_path = true],
     [batch] from {!batch_default_enabled} — the published contribution
     plus the finger-cache fast path.
@@ -28,7 +30,15 @@ val create : ?order_aware:bool -> ?merge:bool -> ?fast_path:bool -> ?batch:bool 
     also forced off by [~merge:false], because the fast path coalesces
     adjacent accesses — i.e. it {e is} a merge. [~batch:true] starts the
     store with the deeper coalescing write buffer already open (see
-    {!batch_begin}). *)
+    {!batch_begin}).
+
+    [?budget] (default {!Rma_fault.Budget.default}, i.e. the process
+    default or none) bounds the store: an insert leaving the store over
+    the effective node cap triggers the budget's degradation policy —
+    {!Rma_fault.Budget.Exhausted} under [Fail_fast], oldest-first
+    eviction under [Spill_oldest_epoch], provenance-discarding merging
+    under [Coarsen] — with every lost node counted in the
+    [degraded_drops] statistic. See {!Governor} and DESIGN.md §11. *)
 
 include Store_intf.S with type t := t
 
@@ -95,6 +105,6 @@ val self_check : t -> bool
     on a store created while recording was disabled. *)
 
 val recorder : t -> Flight_recorder.t option
-
-val note_epoch : t -> unit
-(** Advance the recorder's epoch stamp (called at [Epoch_opened]). *)
+(** The store's ring, for report builders; [None] when recording was
+    disabled at creation. {!Store_intf.S.note_epoch} advances its epoch
+    stamp. *)

@@ -3,12 +3,55 @@ module Obs = Rma_obs.Obs
 
 type t = {
   tree : Avl.t;
+  gov : Governor.t option;
   mutable peak_nodes : int;
   mutable inserts : int;
   mutable race_checks : int;
 }
 
-let create () = { tree = Avl.create (); peak_nodes = 0; inserts = 0; race_checks = 0 }
+(* AVL node + access record + interval, as in Disjoint_store; the
+   legacy store never fragments, so the estimate is identical. *)
+let approx_node_bytes = 112
+
+let create ?budget () =
+  {
+    tree = Avl.create ();
+    gov = Governor.create ?budget ~bytes_per_node:approx_node_bytes ();
+    peak_nodes = 0;
+    inserts = 0;
+    race_checks = 0;
+  }
+
+let spill t g =
+  let victims =
+    Governor.spill_victims g ~size:(Avl.size t.tree)
+      ~seq_of:(fun a -> a.Access.seq)
+      (Avl.to_list t.tree)
+  in
+  List.iter (fun a -> ignore (Avl.remove t.tree a)) victims;
+  Governor.record_drops g (List.length victims)
+
+let coarsen t g =
+  let merged, n = Governor.coarsen_accesses (Avl.to_list t.tree) in
+  if n > 0 then begin
+    Avl.clear t.tree;
+    List.iter (fun a -> Avl.insert t.tree a) merged;
+    Governor.record_drops g n
+  end
+
+let enforce_budget t =
+  match t.gov with
+  | None -> ()
+  | Some g ->
+      if Governor.over g ~size:(Avl.size t.tree) then begin
+        match (Governor.budget g).Rma_fault.Budget.policy with
+        | Rma_fault.Budget.Fail_fast ->
+            Governor.exhausted ~store:"legacy" ~size:(Avl.size t.tree) g
+        | Rma_fault.Budget.Spill_oldest_epoch -> spill t g
+        | Rma_fault.Budget.Coarsen ->
+            coarsen t g;
+            if Governor.over g ~size:(Avl.size t.tree) then spill t g
+      end
 
 let obs_insert_seconds =
   Obs.histogram ~help:"Wall time of one Legacy_store.insert" "store.legacy.insert_seconds"
@@ -39,6 +82,8 @@ let insert_uninstrumented t access =
          fragmented or merged. *)
       Avl.insert t.tree access;
       if Avl.size t.tree > t.peak_nodes then t.peak_nodes <- Avl.size t.tree;
+      Governor.observe_seq t.gov access.Access.seq;
+      enforce_budget t;
       Store_intf.Inserted
 
 let insert t access =
@@ -63,9 +108,12 @@ let stats t =
     merges_performed = 0;
     race_checks = t.race_checks;
     tree_ops = Avl.ops t.tree;
+    degraded_drops = Governor.drops t.gov;
   }
 
 let to_list t = Avl.to_list t.tree
+
+let note_epoch t = Governor.note_epoch t.gov
 
 let clear t = Avl.clear t.tree
 

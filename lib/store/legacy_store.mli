@@ -15,6 +15,11 @@
 
 type t
 
-val create : unit -> t
+val create : ?budget:Rma_fault.Budget.t -> unit -> t
+(** [?budget] (default {!Rma_fault.Budget.default}) bounds the store
+    exactly as on {!Disjoint_store.create}; the legacy store spills and
+    coarsens over its plain multiset. *)
 
 include Store_intf.S with type t := t
+(** [note_epoch] only moves the governance watermark — the legacy store
+    has no flight recorder. *)

@@ -20,6 +20,13 @@ type stats = {
       (** Interval-tree descents performed (inserts, removes, stabs,
           search paths, clearance probes) — the cost the disjoint
           store's insert fast path exists to cut. *)
+  degraded_drops : int;
+      (** Nodes evicted or coarsened away by budget governance
+          ({!Governor}, DESIGN.md §11). Zero on an unbudgeted store;
+          non-zero means detection may have lost information and every
+          downstream report must say so ([degraded_drops] in
+          {!Rma_report.Harness.metrics}, downgraded confidence in
+          SARIF). *)
 }
 
 let zero_stats =
@@ -31,15 +38,36 @@ let zero_stats =
     merges_performed = 0;
     race_checks = 0;
     tree_ops = 0;
+    degraded_drops = 0;
   }
 
 module type S = sig
   type t
 
   val insert : t -> Access.t -> insert_outcome
+  (** Record one access, first checking it against the conflicting
+      recorded accesses (Algorithm 1 line 2 in the disjoint store, the
+      search-path approximation in the legacy store). On a budgeted
+      store ({!Governor}) a successful insert may additionally trigger
+      the budget's degradation policy; under [Fail_fast] that raises
+      {!Rma_fault.Budget.Exhausted}. *)
+
   val size : t -> int
+  (** Current node count. *)
+
   val stats : t -> stats
+  (** Cumulative counters since creation; {!clear} does not reset
+      them. *)
+
   val to_list : t -> Access.t list
+  (** Recorded accesses in increasing lower-bound order. *)
+
+  val note_epoch : t -> unit
+  (** Tell the store an epoch boundary passed: accesses recorded so far
+      become "completed-epoch" for the [Spill_oldest_epoch] governance
+      policy, and stores with a flight recorder advance its epoch
+      stamp. Called by the analyzer at [Epoch_opened]. *)
+
   val clear : t -> unit
   (** Empties the tree (end of epoch) but keeps cumulative statistics. *)
 

@@ -71,6 +71,7 @@ end)
 type t = {
   tree : Tree.t;
   order_aware : bool;
+  gov : Governor.t option;
   mutable peak_nodes : int;
   mutable inserts : int;
   mutable fragments_created : int;
@@ -78,16 +79,73 @@ type t = {
   mutable race_checks : int;
 }
 
-let create ?(order_aware = true) () =
+(* Tree node + region record (8 fields) + a share of the debug
+   strings; regions are a little heavier than plain accesses. *)
+let approx_node_bytes = 144
+
+let create ?(order_aware = true) ?budget () =
   {
     tree = Tree.create ();
     order_aware;
+    gov = Governor.create ?budget ~bytes_per_node:approx_node_bytes ();
     peak_nodes = 0;
     inserts = 0;
     fragments_created = 0;
     merges_performed = 0;
     race_checks = 0;
   }
+
+let spill t g =
+  let victims =
+    Governor.spill_victims g ~size:(Tree.size t.tree) ~seq_of:(fun r -> r.seq)
+      (Tree.to_list t.tree)
+  in
+  List.iter (fun r -> ignore (Tree.remove t.tree r)) victims;
+  Governor.record_drops g (List.length victims)
+
+(* Coarsening for regions: merge a perfect stride continuation — same
+   kind, issuer, element length and stride, with the second region's
+   first element landing exactly one stride after the first region's
+   last — ignoring debug-info inequality. Coverage is exactly
+   preserved (unlike hull merging, which would swallow gap bytes). *)
+let coarsen t g =
+  let continuation a b =
+    Access_kind.equal a.kind b.kind && a.issuer = b.issuer && a.len = b.len
+    && (a.stride = b.stride || b.count = 1)
+    && b.base = a.base + (a.count * a.stride)
+  in
+  let join a b =
+    let seq = max a.seq b.seq in
+    let debug = if b.seq >= a.seq then b.debug else a.debug in
+    { a with count = a.count + b.count; seq; debug }
+  in
+  let rec go merged acc = function
+    | [] -> (List.rev acc, merged)
+    | x :: rest -> (
+        match acc with
+        | prev :: acc' when continuation prev x -> go (merged + 1) (join prev x :: acc') rest
+        | _ -> go merged (x :: acc) rest)
+  in
+  let coarse, n = go 0 [] (Tree.to_list t.tree) in
+  if n > 0 then begin
+    Tree.clear t.tree;
+    List.iter (fun r -> Tree.insert t.tree r) coarse;
+    Governor.record_drops g n
+  end
+
+let enforce_budget t =
+  match t.gov with
+  | None -> ()
+  | Some g ->
+      if Governor.over g ~size:(Tree.size t.tree) then begin
+        match (Governor.budget g).Rma_fault.Budget.policy with
+        | Rma_fault.Budget.Fail_fast ->
+            Governor.exhausted ~store:"strided" ~size:(Tree.size t.tree) g
+        | Rma_fault.Budget.Spill_oldest_epoch -> spill t g
+        | Rma_fault.Budget.Coarsen ->
+            coarsen t g;
+            if Governor.over g ~size:(Tree.size t.tree) then spill t g
+      end
 
 let note_peak t = if Tree.size t.tree > t.peak_nodes then t.peak_nodes <- Tree.size t.tree
 
@@ -140,7 +198,7 @@ let obs_merges =
   Obs.histogram ~unit_:"count" ~help:"Region extensions/merges per insert (section 6(3))"
     "store.strided.merges_per_insert"
 
-let insert_uninstrumented t access =
+let insert_unbudgeted t access =
   t.inserts <- t.inserts + 1;
   let iv = access.Access.interval in
   let wide = Interval.make ~lo:(Interval.lo iv - 1) ~hi:(Interval.hi iv + 1) in
@@ -211,6 +269,15 @@ let insert_uninstrumented t access =
             Store_intf.Inserted
           end)
 
+let insert_uninstrumented t access =
+  let outcome = insert_unbudgeted t access in
+  (match outcome with
+  | Store_intf.Inserted ->
+      Governor.observe_seq t.gov access.Access.seq;
+      enforce_budget t
+  | Store_intf.Race_detected _ -> ());
+  outcome
+
 let insert t access =
   if not (Obs.is_enabled ()) then insert_uninstrumented t access
   else begin
@@ -233,6 +300,7 @@ let stats t =
     merges_performed = t.merges_performed;
     race_checks = t.race_checks;
     tree_ops = Tree.ops t.tree;
+    degraded_drops = Governor.drops t.gov;
   }
 
 let regions t = Tree.to_list t.tree
@@ -241,6 +309,8 @@ let to_list t = List.map access_of_region (regions t)
 
 let covered_bytes t =
   Tree.fold t.tree ~init:0 ~f:(fun acc r -> acc + (r.count * r.len))
+
+let note_epoch t = Governor.note_epoch t.gov
 
 let clear t = Tree.clear t.tree
 

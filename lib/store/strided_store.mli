@@ -43,8 +43,12 @@ val region_covers : region -> Interval.t -> bool
 
 type t
 
-val create : ?order_aware:bool -> unit -> t
-(** Default [order_aware = true]. *)
+val create : ?order_aware:bool -> ?budget:Rma_fault.Budget.t -> unit -> t
+(** Default [order_aware = true]. [?budget] (default
+    {!Rma_fault.Budget.default}) bounds the region count as on
+    {!Disjoint_store.create}; [Coarsen] merges perfect stride
+    continuations ignoring debug info (coverage-exact), then spills
+    oldest regions if still over. *)
 
 include Store_intf.S with type t := t
 (** [size] counts regions. [to_list] renders each region as one access

@@ -1,7 +1,15 @@
 open Rma_access
 module Event = Mpi_sim.Event
 
-let header = "rma-trace 1"
+let header = "rma-trace 2"
+let legacy_header = "rma-trace 1"
+let footer_prefix = "rma-trace-end"
+let footer n = Printf.sprintf "%s %d" footer_prefix n
+
+type error = { at_line : int; reason : string }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.at_line e.reason
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
 
 let escape s =
   let buf = Buffer.create (String.length s) in
@@ -124,7 +132,7 @@ let bool_field = function
   | "0" -> Ok false
   | s -> Error ("bad bool " ^ s)
 
-let decode_event line =
+let decode_event_exn line =
   match String.split_on_char '\t' line with
   | [ "A"; space; kind; lo; hi; issuer; seq; win; relevant; on_stack; time; file; lnum; op ] ->
       let* space = int_field space in
@@ -193,25 +201,94 @@ let decode_event line =
       Ok (Event.Finished { rank; sim_time })
   | _ -> Error (Printf.sprintf "malformed trace line %S" line)
 
+(* The grammar above is already total over well-formed OCaml strings,
+   but "never raises" is a contract the fuzz suite enforces against
+   arbitrary bytes — the catch-all keeps it robust against any future
+   field parser that throws. *)
+let decode_event line =
+  match decode_event_exn line with
+  | r -> r
+  | exception e -> Error (Printf.sprintf "decode failure: %s" (Printexc.to_string e))
+
+(* Mutate one encoded line the way a flaky link or disk would: flip the
+   low bit of the middle byte. Tab-separated printable bytes stay in
+   the printable range, so the corruption never forges a line break —
+   it yields a malformed field (or, rarely, a silently different valid
+   one, which is exactly why framed traces still deserve checksums
+   upstream). *)
+let corrupt_line line =
+  if line = "" then line
+  else begin
+    let b = Bytes.of_string line in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 1));
+    Bytes.to_string b
+  end
+
 let write_all oc events =
   output_string oc header;
   output_char oc '\n';
+  let faulty = Rma_fault.active () in
+  let truncated = ref false in
+  let written = ref 0 in
   List.iter
     (fun e ->
-      output_string oc (encode_event e);
-      output_char oc '\n')
-    events
+      if not !truncated then begin
+        let line = encode_event e in
+        if faulty && Rma_fault.fire Rma_fault.Trace_truncate then begin
+          (* Cut mid-line: half the bytes land, the newline and the
+             footer never do. *)
+          truncated := true;
+          output_string oc (String.sub line 0 (String.length line / 2))
+        end
+        else begin
+          let line = if faulty && Rma_fault.fire Rma_fault.Trace_corrupt then corrupt_line line else line in
+          output_string oc line;
+          output_char oc '\n';
+          incr written
+        end
+      end)
+    events;
+  if not !truncated then begin
+    output_string oc (footer !written);
+    output_char oc '\n'
+  end
+
+let parse_footer line =
+  match String.split_on_char ' ' line with
+  | [ p; n ] when p = footer_prefix -> int_of_string_opt n
+  | _ -> None
 
 let read_all ic =
   match input_line ic with
-  | exception End_of_file -> Error "empty trace"
-  | first when first <> header -> Error (Printf.sprintf "bad header %S" first)
-  | _ ->
-      let rec go acc =
+  | exception End_of_file -> Error { at_line = 1; reason = "empty trace" }
+  | first when first <> header && first <> legacy_header ->
+      Error { at_line = 1; reason = Printf.sprintf "bad header %S" first }
+  | first ->
+      let framed = first = header in
+      let rec go lineno acc =
         match input_line ic with
-        | exception End_of_file -> Ok (List.rev acc)
-        | line when String.trim line = "" -> go acc
+        | exception End_of_file ->
+            if framed then
+              Error { at_line = lineno; reason = "truncated trace: missing rma-trace-end footer" }
+            else Ok (List.rev acc)
+        | line when framed && String.length line >= String.length footer_prefix
+                    && String.sub line 0 (String.length footer_prefix) = footer_prefix -> (
+            match parse_footer line with
+            | Some n when n = List.length acc -> Ok (List.rev acc)
+            | Some n ->
+                Error
+                  {
+                    at_line = lineno;
+                    reason =
+                      Printf.sprintf "footer count %d disagrees with %d decoded events" n
+                        (List.length acc);
+                  }
+            | None -> Error { at_line = lineno; reason = "malformed rma-trace-end footer" })
+        | line when String.trim line = "" -> go (lineno + 1) acc
         | line -> (
-            match decode_event line with Ok e -> go (e :: acc) | Error e -> Error e)
+            match decode_event line with
+            | Ok e -> go (lineno + 1) (e :: acc)
+            | Error reason -> Error { at_line = lineno; reason })
       in
-      go []
+      go 2 []

@@ -1,23 +1,65 @@
 (** Text serialisation of instrumentation event streams.
 
-    One event per line, tab-separated, with a versioned header — stable
-    enough to archive traces and replay them through any detector later
-    (the post-mortem workflow of MC-Checker, §3 of the paper). Strings
-    are percent-escaped so file names with tabs or newlines round-trip. *)
+    One event per line, tab-separated, with a versioned header and a
+    counting footer — stable enough to archive traces and replay them
+    through any detector later (the post-mortem workflow of MC-Checker,
+    §3 of the paper). Strings are percent-escaped so file names with
+    tabs or newlines round-trip.
+
+    Format 2 frames the stream: the first line is {!header}, each event
+    is one line, and the last line is [rma-trace-end <count>]. The
+    footer is what makes truncation — a killed writer, a full disk, an
+    injected [Trace_truncate] fault — detectable even when the cut
+    falls exactly on a line boundary. {!read_all} still accepts
+    format-1 traces (no footer) for archived streams.
+
+    Decoding is {e total}: {!decode_event} and {!read_all} return
+    [Error] on any malformed, truncated or bit-flipped input and never
+    raise or loop — the fuzz suite in [test/test_fuzz.ml] holds them to
+    that. When an {!Rma_fault} plan is installed, {!write_all} is the
+    injection point for the [Trace_corrupt] (one flipped bit in an
+    encoded line) and [Trace_truncate] (stream cut mid-line, footer
+    lost) sites. *)
 
 val header : string
-(** First line of every trace file. *)
+(** First line of every trace file (format 2). *)
+
+val legacy_header : string
+(** The format-1 header, still accepted by {!read_all}. *)
+
+val footer : int -> string
+(** [footer n] is the closing line of a stream carrying [n] events. *)
+
+(** {1 Decoding errors} *)
+
+type error = {
+  at_line : int;  (** 1-based line number in the stream; the header is line 1. *)
+  reason : string;
+}
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Events} *)
 
 val encode_event : Mpi_sim.Event.event -> string
 (** One line, no trailing newline. *)
 
 val decode_event : string -> (Mpi_sim.Event.event, string) result
+(** Total: any input yields [Ok] or [Error], never an exception. *)
 
 val write_all : out_channel -> Mpi_sim.Event.event list -> unit
-(** Header plus one line per event. *)
+(** Header, one line per event, footer. Under an installed fault plan,
+    each line first passes the [Trace_truncate] site (fires: the stream
+    stops after a prefix of that line and the footer is never written)
+    and then the [Trace_corrupt] site (fires: one deterministic bit of
+    the line is flipped). *)
 
-val read_all : in_channel -> (Mpi_sim.Event.event list, string) result
-(** Validates the header; stops at the first malformed line. *)
+val read_all : in_channel -> (Mpi_sim.Event.event list, error) result
+(** Validates the header, decodes every line, and — on a format-2
+    stream — requires the footer and checks its count; a missing or
+    mismatching footer reports truncation. Stops at the first
+    malformed line. Blank lines are ignored. *)
 
 val escape : string -> string
 val unescape : string -> string

@@ -232,6 +232,7 @@ let to_reports result =
             [ { Rma_store.Flight_recorder.access = r.first; epoch = 0 } ];
           incoming_history =
             [ { Rma_store.Flight_recorder.access = r.second; epoch = 0 } ];
+          degraded = false;
         }
       in
       Rma_analysis.Report.make ~tool:"MC-Checker (post-mortem)" ~space:r.space ~win:r.win

@@ -28,7 +28,9 @@ let save t ~path =
 
 let load ~path =
   let ic = open_in path in
-  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Codec.read_all ic)
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Result.map_error Codec.error_to_string (Codec.read_all ic))
 
 let replay events ~tool =
   tool.Rma_analysis.Tool.reset ();

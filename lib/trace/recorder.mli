@@ -23,9 +23,13 @@ val length : t -> int
 val clear : t -> unit
 
 val save : t -> path:string -> unit
-(** Write the trace file. *)
+(** Write the trace file ({!Codec.write_all}: framed format 2; the
+    [Trace_corrupt]/[Trace_truncate] fault sites live inside). *)
 
 val load : path:string -> (Mpi_sim.Event.event list, string) result
+(** Read a trace file back; [Error] renders the structured
+    {!Codec.error} (line number + reason) as text. Never raises on
+    malformed input. *)
 
 val replay : Mpi_sim.Event.event list -> tool:Rma_analysis.Tool.t -> Rma_analysis.Report.t list
 (** Feed a recorded stream through any detector (reset first) and

@@ -23,4 +23,5 @@ let () =
       ("memory", Test_memory.suite);
       ("obs", Test_obs.suite);
       ("export", Test_export.suite);
+      ("fault", Test_fault.suite);
     ]

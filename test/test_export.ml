@@ -125,6 +125,84 @@ let test_json_round_trip () =
           Alcotest.(check string) "byte-identical re-export" text
             (Json.to_string (Race_export.to_json ~generator:"test" reports')))
 
+(* A race detected on a budget-degraded store: a Coarsen budget of two
+   nodes collapses six adjacent same-kind reads with distinct source
+   lines (which regular merging refuses), then a local write lands on
+   the coarse node. The report must carry [degraded = true] end-to-end:
+   JSON round-trip, and downgraded confidence in SARIF. *)
+let degraded_race_reports () =
+  let budget =
+    {
+      Rma_fault.Budget.max_nodes = Some 2;
+      max_bytes = None;
+      policy = Rma_fault.Budget.Coarsen;
+    }
+  in
+  let tool = Rma_analyzer.create ~nprocs:2 ~mode:Tool.Collect ~budget Rma_analyzer.Contribution in
+  let feed e = ignore (tool.Tool.observer e) in
+  let access ~seq ~line ~op lo hi kind =
+    Event.Access
+      {
+        Event.space = 0;
+        access = mk_access ~seq ~line ~op lo hi kind;
+        win = Some 0;
+        relevant = true;
+        on_stack = false;
+        sim_time = float_of_int seq;
+      }
+  in
+  feed (Event.Epoch_opened { win = 0; rank = 0; sim_time = 0.0 });
+  for i = 0 to 5 do
+    feed
+      (access ~seq:(i + 1) ~line:(i + 1) ~op:"MPI_Get"
+         (i * 4)
+         ((i * 4) + 3)
+         Access_kind.Rma_read)
+  done;
+  feed (access ~seq:7 ~line:9 ~op:"Store" 5 5 Access_kind.Local_write);
+  (tool.Tool.races (), (tool.Tool.bst_summary ()).Tool.degraded_drops_total)
+
+let test_degraded_race_flagged () =
+  let reports, drops = degraded_race_reports () in
+  Alcotest.(check bool) "the coarsen budget degraded the store" true (drops > 0);
+  Alcotest.(check int) "the write still races" 1 (List.length reports);
+  let r = List.hd reports in
+  Alcotest.(check bool) "provenance carries the degradation" true
+    r.Report.provenance.Report.degraded;
+  (* The flag survives the JSON round trip... *)
+  let text = Json.to_string (Race_export.to_json ~generator:"test" reports) in
+  (match Result.bind (Json.of_string text) Race_export.of_json with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok reports' ->
+      Alcotest.(check bool) "degraded survives JSON" true
+        (List.hd reports').Report.provenance.Report.degraded);
+  (* ...and a schema-v1 file without the field still loads, as exact. *)
+  let clean = with_recorder code1_race_reports in
+  let stripped =
+    match Json.of_string (Json.to_string (Race_export.to_json ~generator:"test" clean)) with
+    | Ok (Json.Obj fields) ->
+        Json.Obj
+          (List.map
+             (function
+               | "races", Json.List rs ->
+                   ( "races",
+                     Json.List
+                       (List.map
+                          (function
+                            | Json.Obj f ->
+                                Json.Obj (List.filter (fun (k, _) -> k <> "degraded") f)
+                            | j -> j)
+                          rs) )
+               | kv -> kv)
+             fields)
+    | _ -> Alcotest.fail "re-parse failed"
+  in
+  match Race_export.of_json stripped with
+  | Error msg -> Alcotest.failf "pre-governance file rejected: %s" msg
+  | Ok loaded ->
+      Alcotest.(check bool) "missing field defaults to exact" false
+        (List.hd loaded).Report.provenance.Report.degraded
+
 let test_json_rejects_bad_version () =
   let json =
     Json.Obj [ ("schema_version", Json.Int 999); ("races", Json.List []) ]
@@ -152,6 +230,30 @@ let test_sarif_matches_golden () =
           (fun () -> really_input_string ic (in_channel_length ic))
       in
       Alcotest.(check string) "SARIF export matches golden file" golden sarif
+
+let test_degraded_sarif_matches_golden () =
+  let reports, _ = degraded_race_reports () in
+  let sarif = Json.to_string (Race_export.to_sarif ~generator:"test" reports) ^ "\n" in
+  (* The downgrade is asserted structurally before any golden diff, so a
+     blind regeneration cannot launder it away. *)
+  Alcotest.(check bool) "degraded result downgraded to warning" true
+    (Astring.String.is_infix ~affix:"\"level\": \"warning\"" sarif);
+  Alcotest.(check bool) "confidence property present" true
+    (Astring.String.is_infix ~affix:"\"confidence\": \"downgraded\"" sarif);
+  (* GOLDEN_OUT_DEGRADED=/abs/path/test/golden/race_degraded.sarif
+     regenerates the golden file instead of comparing. *)
+  match Sys.getenv_opt "GOLDEN_OUT_DEGRADED" with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc sarif)
+  | None ->
+      let golden =
+        let ic = open_in "golden/race_degraded.sarif" in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Alcotest.(check string) "degraded SARIF matches golden file" golden sarif
 
 let test_sarif_lists_all_locations () =
   let reports = with_recorder code1_race_reports in
@@ -249,14 +351,19 @@ let test_compare_fails_on_missing_baseline_experiment () =
   Alcotest.(check bool) "comparison fails" true failed;
   Alcotest.(check bool) "message names the experiment" true
     (Astring.String.is_infix ~affix:"par" body && Astring.String.is_infix ~affix:"baseline" body);
-  (* The reverse direction stays tolerated: a baseline with extra
-     experiments (e.g. a retired one) still compares clean. *)
+  (* The reverse direction fails too: a candidate that never ran a
+     baseline experiment dropped coverage — those metrics would silently
+     stop being tracked if the comparison passed. *)
+  Alcotest.(check (list string))
+    "dropped experiment detected" [ "par" ]
+    (Perf_trajectory.missing_from_candidate ~old_record:new_r ~new_record:old_r);
   let body', failed' =
     Perf_trajectory.render_comparison ~old_record:new_r ~new_record:old_r ()
   in
-  Alcotest.(check bool) "extra baseline experiments do not fail" false failed';
-  Alcotest.(check bool) "and render a clean verdict" true
-    (Astring.String.is_infix ~affix:"OK" body')
+  Alcotest.(check bool) "candidate missing a baseline experiment fails" true failed';
+  Alcotest.(check bool) "and the verdict names the dropped experiment" true
+    (Astring.String.is_infix ~affix:"par" body'
+    && Astring.String.is_infix ~affix:"missing" body')
 
 let suite =
   [
@@ -270,7 +377,11 @@ let suite =
     Alcotest.test_case "race JSON round-trips byte-identically" `Quick test_json_round_trip;
     Alcotest.test_case "race JSON rejects unknown schema versions" `Quick
       test_json_rejects_bad_version;
+    Alcotest.test_case "degraded store flags its races end-to-end" `Quick
+      test_degraded_race_flagged;
     Alcotest.test_case "SARIF export matches the golden file" `Quick test_sarif_matches_golden;
+    Alcotest.test_case "degraded SARIF downgraded and golden-stable" `Quick
+      test_degraded_sarif_matches_golden;
     Alcotest.test_case "SARIF names every contributing location" `Quick
       test_sarif_lists_all_locations;
     Alcotest.test_case "explain renders the merged-away source" `Quick

@@ -197,6 +197,84 @@ let prop_post_mortem_deterministic_on_trace =
       let b = (Rma_trace.Post_mortem.analyze events).Rma_trace.Post_mortem.distinct_pairs in
       a = b)
 
+(* --- codec totality under hostile bytes ----------------------------- *)
+
+(* Write a recorded stream through the real framing writer (with any
+   ambient fault plan cleared, so the base bytes are well-formed), then
+   attack the bytes directly. The invariant is totality: [read_all]
+   returns [Ok] or a structured [Error] — it never raises and never
+   loops — and a complete parse is only reported for complete streams. *)
+
+let without_fault_plan f =
+  let saved = Rma_fault.plan () in
+  Rma_fault.clear ();
+  Fun.protect
+    ~finally:(fun () -> match saved with Some pl -> Rma_fault.install pl | None -> ())
+    f
+
+let trace_bytes events =
+  let path = Filename.temp_file "fuzz_codec" ".txt" in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> without_fault_plan (fun () -> Rma_trace.Codec.write_all oc events));
+  let ic = open_in_bin path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  s
+
+let read_trace_bytes s =
+  let path = Filename.temp_file "fuzz_codec" ".txt" in
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s);
+  let ic = open_in path in
+  let r = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Rma_trace.Codec.read_all ic) in
+  Sys.remove path;
+  r
+
+let prop_truncated_trace_structured_error =
+  QCheck.Test.make ~name:"fuzz: truncated traces yield Error, never raise"
+    ~count:50
+    QCheck.(pair arb_program small_nat)
+    (fun (p, cut_seed) ->
+      let events = record p 17 in
+      let s = trace_bytes events in
+      let n = List.length events in
+      (* Several cuts per stream, spread deterministically. *)
+      List.for_all
+        (fun k ->
+          let cut = (cut_seed + (k * 7919)) mod (String.length s + 1) in
+          match read_trace_bytes (String.sub s 0 cut) with
+          | Ok evs ->
+              (* [Ok] may only report the complete stream — losing at
+                 most the final newline, which carries no data. Any cut
+                 that drops an event or the footer must be an error. *)
+              cut >= String.length s - 1 && List.length evs = n
+          | Error e -> e.Rma_trace.Codec.at_line >= 1)
+        [ 0; 1; 2; 3 ])
+
+let prop_bitflipped_trace_never_raises =
+  QCheck.Test.make ~name:"fuzz: bit-flipped traces decode totally"
+    ~count:50
+    QCheck.(pair arb_program small_nat)
+    (fun (p, flip_seed) ->
+      let events = record p 29 in
+      let s = trace_bytes events in
+      List.for_all
+        (fun k ->
+          let pos = (flip_seed + (k * 6131)) mod String.length s in
+          let bit = (flip_seed + k) mod 8 in
+          let b = Bytes.of_string s in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+          match read_trace_bytes (Bytes.to_string b) with
+          | Ok evs -> List.length evs <= List.length events
+          | Error e -> e.Rma_trace.Codec.at_line >= 1)
+        [ 0; 1; 2; 3 ])
+
 let prop_trace_roundtrip_preserves_analysis =
   QCheck.Test.make ~name:"fuzz: codec roundtrip preserves post-mortem result" ~count:50
     arb_program
@@ -220,4 +298,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_must_sound_wrt_post_mortem;
     QCheck_alcotest.to_alcotest prop_post_mortem_deterministic_on_trace;
     QCheck_alcotest.to_alcotest prop_trace_roundtrip_preserves_analysis;
+    QCheck_alcotest.to_alcotest prop_truncated_trace_structured_error;
+    QCheck_alcotest.to_alcotest prop_bitflipped_trace_never_raises;
   ]
