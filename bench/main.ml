@@ -14,6 +14,8 @@
      dune exec bench/main.exe -- --compare old.json new.json --threshold 0.25
      dune exec bench/main.exe -- --fault-plan seed=7,worker_crash=0.05 --jobs 4 fig10
      dune exec bench/main.exe -- --budget 4096:spill fig11
+     dune exec bench/main.exe -- --obs-events events.jsonl --obs-level debug fig10
+     dune exec bench/main.exe -- --obs-serve 9090 fig11    -- curl /metrics mid-run
 
    Scale notes: MiniVite inputs default to one tenth of the paper's
    640k/1,280k vertices so the full sweep finishes in minutes; rank
@@ -359,6 +361,8 @@ let () =
   let ranks = ref None in
   let obs_out = ref None in
   let obs_summary = ref false in
+  let obs_events = ref None in
+  let obs_serve = ref None in
   let json_out = ref None in
   let generator = ref "bench" in
   let threshold = ref None in
@@ -377,6 +381,19 @@ let () =
         parse rest
     | "--obs-summary" :: rest ->
         obs_summary := true;
+        parse rest
+    | "--obs-events" :: v :: rest ->
+        obs_events := Some v;
+        parse rest
+    | "--obs-level" :: v :: rest ->
+        (match Rma_obs.Events.level_of_string v with
+        | Some l -> Rma_obs.Events.set_level l
+        | None ->
+            Printf.eprintf "bench: bad --obs-level %S (debug|info|warn|error)\n" v;
+            exit 2);
+        parse rest
+    | "--obs-serve" :: v :: rest ->
+        obs_serve := Some (int_of_string v);
         parse rest
     | "--json" :: v :: rest ->
         json_out := Some v;
@@ -421,7 +438,22 @@ let () =
   let selected = if !selected = [] then [ "all" ] else List.rev !selected in
   let scale = !scale and ranks = !ranks in
   (* --json implies Obs: the record snapshots the counter registry. *)
-  if !obs_out <> None || !obs_summary || !json_out <> None then Rma_obs.Obs.enable ();
+  if !obs_out <> None || !obs_summary || !json_out <> None || !obs_events <> None
+     || !obs_serve <> None
+  then Rma_obs.Obs.enable ();
+  Rma_obs.Events.configure_from_env ();
+  (match !obs_events with
+  | Some path -> Rma_obs.Events.set_sink path
+  | None -> ());
+  let server =
+    match !obs_serve with
+    | Some port ->
+        let s = Rma_obs.Serve.start ~port in
+        Printf.eprintf "obs: serving /metrics /healthz /events on 127.0.0.1:%d\n%!"
+          (Rma_obs.Serve.port s);
+        Some s
+    | None -> None
+  in
   let dispatch = function
     | "table2" -> run_table2 ()
     | "table3" -> run_table3 ()
@@ -456,8 +488,17 @@ let () =
   let samples =
     List.map
       (fun name ->
+        let events0 = Rma_obs.Telemetry.events_total () in
         let metrics, wall = Rma_obs.Obs.time_span ~cat:"phase" name (fun () -> dispatch name) in
-        { Perf_trajectory.name; wall_seconds = wall; metrics })
+        let events = Rma_obs.Telemetry.events_total () - events0 in
+        Rma_obs.Telemetry.sample ();
+        {
+          Perf_trajectory.name;
+          wall_seconds = wall;
+          peak_rss_bytes = float_of_int (Rma_obs.Telemetry.peak_rss_bytes ());
+          events_per_sec = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+          metrics;
+        })
       selected
   in
   (match !json_out with
@@ -470,4 +511,6 @@ let () =
       Rma_obs.Chrome_trace.write ~path ();
       Printf.eprintf "obs: wrote Chrome trace to %s\n%!" path
   | None -> ());
-  if !obs_summary then print_string (Rma_obs.Summary.to_string ())
+  if !obs_summary then print_string (Rma_obs.Summary.to_string ());
+  (match server with Some s -> Rma_obs.Serve.stop s | None -> ());
+  Rma_obs.Events.close ()

@@ -14,22 +14,12 @@ open Cmdliner
 open Rma_analysis
 
 (* --- diagnostics flags (observability + race exports), shared by
-   every subcommand --- *)
+   every subcommand; the semantics live in Rma_report.Diag so the
+   examples and the bench driver thread the same knobs --- *)
 
-type diag_opts = {
-  obs_out : string option;
-  obs_summary : bool;
-  obs_prometheus : string option;
-  obs_sample : int;
-  races_json : string option;
-  races_sarif : string option;
-  batch_inserts : bool;
-  jobs : int option;
-  fault_plan : string option;
-  budget : string option;
-}
+module Diag = Rma_report.Diag
 
-let wants_races opts = opts.races_json <> None || opts.races_sarif <> None
+let wants_races = Diag.wants_races
 
 let diag_term =
   let out =
@@ -59,6 +49,35 @@ let diag_term =
       value & opt int 1
       & info [ "obs-sample" ] ~docv:"N"
           ~doc:"Record one span out of every $(docv) (1 keeps all; metrics are never sampled).")
+  in
+  let events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-events" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured event journal (epoch opens/closes, shard crashes and \
+             recoveries, budget degradations, codec errors) as JSON lines to $(docv). Same as \
+             setting $(b,RMA_OBS_EVENTS).")
+  in
+  let level =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Minimum event-journal level: debug, info, warn or error (default info; debug admits \
+             per-epoch events). Same as setting $(b,RMA_OBS_LEVEL).")
+  in
+  let serve =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "obs-serve" ] ~docv:"PORT"
+          ~doc:
+            "Serve $(b,/metrics) (Prometheus text), $(b,/healthz) and $(b,/events) on \
+             127.0.0.1:$(docv) from a background domain for the duration of the run (0 picks an \
+             ephemeral port).")
   in
   let races_json =
     Arg.(
@@ -123,12 +142,15 @@ let diag_term =
              epoch, counted in degraded_drops), coarsen (merge ignoring debug info, downgraded \
              confidence in SARIF). Same as setting $(b,RMA_BUDGET).")
   in
-  let mk obs_out obs_summary obs_prometheus obs_sample races_json races_sarif batch_inserts jobs
-      fault_plan budget =
+  let mk obs_out obs_summary obs_prometheus obs_events obs_level obs_serve obs_sample races_json
+      races_sarif batch_inserts jobs fault_plan budget =
     {
-      obs_out;
+      Diag.obs_out;
       obs_summary;
       obs_prometheus;
+      obs_events;
+      obs_level;
+      obs_serve;
       obs_sample;
       races_json;
       races_sarif;
@@ -139,79 +161,11 @@ let diag_term =
     }
   in
   Term.(
-    const mk $ out $ summary $ prometheus $ sample $ races_json $ races_sarif $ batch_inserts
-    $ jobs $ fault_plan $ budget)
+    const mk $ out $ summary $ prometheus $ events $ level $ serve $ sample $ races_json
+    $ races_sarif $ batch_inserts $ jobs $ fault_plan $ budget)
 
 let generator = "rma_race"
-
-(* [f] returns the run's race reports; exports happen afterwards, the
-   obs ones even if [f] raises. The flight recorder must be switched on
-   before [f] creates its tool (stores snapshot the flag at creation),
-   which is why enabling lives here and not in the exporter. *)
-let with_diag opts f =
-  let active = opts.obs_out <> None || opts.obs_summary || opts.obs_prometheus <> None in
-  if active then begin
-    Rma_obs.Obs.enable ();
-    Rma_obs.Obs.set_sampling ~keep_one_in:(max 1 opts.obs_sample)
-  end;
-  if wants_races opts then Rma_store.Flight_recorder.enable ();
-  (* Like the recorder flag, the batching default must be set before [f]
-     creates its tool. *)
-  if opts.batch_inserts then Rma_store.Disjoint_store.set_batch_default true;
-  (* Ditto for the shard count: tools snapshot it at creation. *)
-  Option.iter Rma_par.set_default_jobs opts.jobs;
-  (* Fault plan and budget likewise precede tool creation: the plan's
-     ordinal counters start from zero for the run, and stores snapshot
-     the default budget in their constructor. A bad spec is a usage
-     error, not a crash mid-run. *)
-  Option.iter
-    (fun spec ->
-      match Rma_fault.Plan.of_spec spec with
-      | Ok plan -> Rma_fault.install plan
-      | Error msg ->
-          Printf.eprintf "rma_race: bad --fault-plan %S: %s\n%!" spec msg;
-          exit 124)
-    opts.fault_plan;
-  Option.iter
-    (fun spec ->
-      match Rma_fault.Budget.of_spec spec with
-      | Ok budget -> Rma_fault.Budget.set_default (Some budget)
-      | Error msg ->
-          Printf.eprintf "rma_race: bad --budget %S: %s\n%!" spec msg;
-          exit 124)
-    opts.budget;
-  let obs_export () =
-    if active then begin
-      let write_file what write path =
-        try
-          write ~path ();
-          Printf.eprintf "obs: wrote %s to %s\n%!" what path
-        with Sys_error msg -> Printf.eprintf "obs: cannot write %s: %s\n%!" what msg
-      in
-      Option.iter (write_file "Chrome trace" Rma_obs.Chrome_trace.write) opts.obs_out;
-      Option.iter (write_file "Prometheus metrics" Rma_obs.Prometheus.write) opts.obs_prometheus;
-      if opts.obs_summary then print_string (Rma_obs.Summary.to_string ())
-    end
-  in
-  let reports = Fun.protect ~finally:obs_export f in
-  (* Ids are per tool run; a subcommand aggregating several runs (suite)
-     would export duplicates, so renumber to the export's own 1..n —
-     identity for single-run subcommands, whose stored reports are
-     already sequential. *)
-  let reports =
-    List.mapi
-      (fun i r ->
-        { r with Report.provenance = { r.Report.provenance with Report.id = i + 1 } })
-      reports
-  in
-  let write_races what write path =
-    try
-      write ~path ~generator reports;
-      Printf.eprintf "races: wrote %s (%d reports) to %s\n%!" what (List.length reports) path
-    with Sys_error msg -> Printf.eprintf "races: cannot write %s: %s\n%!" what msg
-  in
-  Option.iter (write_races "JSON" Rma_report.Race_export.write_json) opts.races_json;
-  Option.iter (write_races "SARIF" Rma_report.Race_export.write_sarif) opts.races_sarif
+let with_diag opts f = Diag.with_diag ~prog:"rma_race" ~generator opts f
 
 let tool_enum = List.map (fun k -> (Toolbox.slug k, k)) Toolbox.all
 

@@ -10,13 +10,20 @@
 
      dune exec examples/fault_drill.exe
      dune exec examples/fault_drill.exe -- --ranks 8 --iterations 30
+     dune exec examples/fault_drill.exe -- --obs-events drill.jsonl --obs-level debug
+     dune exec examples/fault_drill.exe -- --jobs 4 --fault-plan seed=7,worker_crash=0.05
 *)
 
 open Rma_analysis
 module Table = Rma_util.Text_table
+module Diag = Rma_report.Diag
 
 let () =
   let ranks = ref 12 and iterations = ref 20 and cells = ref 64 in
+  let diag = ref Diag.default in
+  (* The same diagnostics knobs as the CLI subcommands (a subset with
+     the journal/telemetry flags spelled out), so a drill run can emit
+     an event journal or serve /metrics like any rma_race invocation. *)
   let rec parse = function
     | "--ranks" :: v :: rest ->
         ranks := int_of_string v;
@@ -27,11 +34,33 @@ let () =
     | "--cells" :: v :: rest ->
         cells := int_of_string v;
         parse rest
+    | "--obs-out" :: v :: rest ->
+        diag := { !diag with Diag.obs_out = Some v };
+        parse rest
+    | "--obs-summary" :: rest ->
+        diag := { !diag with Diag.obs_summary = true };
+        parse rest
+    | "--obs-events" :: v :: rest ->
+        diag := { !diag with Diag.obs_events = Some v };
+        parse rest
+    | "--obs-level" :: v :: rest ->
+        diag := { !diag with Diag.obs_level = Some v };
+        parse rest
+    | "--obs-serve" :: v :: rest ->
+        diag := { !diag with Diag.obs_serve = Some (int_of_string v) };
+        parse rest
+    | "--jobs" :: v :: rest ->
+        diag := { !diag with Diag.jobs = Some (int_of_string v) };
+        parse rest
+    | "--fault-plan" :: v :: rest ->
+        diag := { !diag with Diag.fault_plan = Some v };
+        parse rest
     | _ :: rest -> parse rest
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   let nprocs = !ranks in
+  Diag.with_diag ~prog:"fault_drill" ~generator:"fault_drill" !diag @@ fun () ->
   let params =
     {
       Cfd_proxy.Halo.default_params with
@@ -98,4 +127,5 @@ let () =
      store carries provenance.degraded = true (SARIF level \"warning\" with a\n\
      confidence: downgraded property). The same caps are available everywhere via\n\
      --budget on the CLI and bench, or RMA_BUDGET in the environment.\n"
-    (if !verdicts_stable then "identical" else "DIVERGED")
+    (if !verdicts_stable then "identical" else "DIVERGED");
+  []

@@ -3,6 +3,21 @@ open Rma_store
 module Event = Mpi_sim.Event
 module Config = Mpi_sim.Config
 module Obs = Rma_obs.Obs
+module Events = Rma_obs.Events
+module Telemetry = Rma_obs.Telemetry
+
+(* Telemetry sampling rides the epoch-close path (the natural heartbeat
+   of a run) but is rate-limited so epoch-dense workloads don't pay a
+   /proc read per epoch. *)
+let telemetry_interval = 0.25
+let last_telemetry = ref 0.0
+
+let sample_telemetry () =
+  let now = Rma_util.Timer.now () in
+  if now -. !last_telemetry >= telemetry_interval then begin
+    last_telemetry := now;
+    Telemetry.sample ()
+  end
 
 type policy = Legacy | Contribution | Fragmentation_only | Order_blind | Strided_extension
 
@@ -326,10 +341,16 @@ let observer st event =
       let tree = tree_for st (rank, win) in
       tree.epoch_open <- true;
       store_note_epoch tree.store;
-      if Obs.is_enabled () then
+      if Obs.is_enabled () then begin
         tree.epoch_span <-
           Obs.start_span ~cat:"epoch" ~pid:(Obs.sim_pid ()) ~tid:rank ~at:sim_time
             (Printf.sprintf "epoch win=%d" win);
+        Events.emit
+          ~span_id:(Obs.span_id tree.epoch_span)
+          ~kv:
+            [ ("event", "epoch_open"); ("win", string_of_int win); ("rank", string_of_int rank) ]
+          Events.Debug "analyzer"
+      end;
       0.0
   | Event.Epoch_closed { win; rank; sim_time } ->
       let tree = tree_for st (rank, win) in
@@ -338,11 +359,22 @@ let observer st event =
       let nodes = store_size tree.store in
       tree.nodes_at_last_close <- Some nodes;
       if Obs.is_enabled () then begin
+        Events.emit
+          ~span_id:(Obs.span_id tree.epoch_span)
+          ~kv:
+            [
+              ("event", "epoch_close");
+              ("win", string_of_int win);
+              ("rank", string_of_int rank);
+              ("nodes", string_of_int nodes);
+            ]
+          Events.Debug "analyzer";
         Obs.finish_span ~at:sim_time ~args:[ ("nodes", string_of_int nodes) ] tree.epoch_span;
         tree.epoch_span <- None;
         Obs.observe_int obs_nodes_at_close nodes;
         Obs.set_gauge obs_tree_nodes (float_of_int nodes);
-        Obs.incr obs_epoch_closes
+        Obs.incr obs_epoch_closes;
+        sample_telemetry ()
       end;
       let closers =
         match Hashtbl.find_opt st.epoch_closers win with

@@ -149,6 +149,7 @@ let fire site =
       hit
 
 let fired site = match !state with None -> 0 | Some inst -> inst.hits.(site_index site)
+let ordinal site = match !state with None -> 0 | Some inst -> inst.ordinals.(site_index site)
 
 module Budget = struct
   type policy = Fail_fast | Spill_oldest_epoch | Coarsen

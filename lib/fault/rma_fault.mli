@@ -118,6 +118,13 @@ val fired : site -> int
 (** How many times {!fire} has returned [true] for [site] since the
     current plan was installed (0 when no plan is active). *)
 
+val ordinal : site -> int
+(** How many times {!fire} has been {e asked} for [site] under the
+    current plan — i.e. the ordinal of the next ask. The visit that just
+    fired has ordinal [ordinal site - 1]; the event journal records it
+    so a fault occurrence can be replayed from [(seed, site, ordinal)]
+    alone. 0 when no plan is active. *)
+
 (** {1 Resource budgets} *)
 
 module Budget : sig

@@ -4,6 +4,7 @@ type counter = { c_name : string; c_help : string; mutable c_value : int }
 type gauge = { g_name : string; g_help : string; mutable g_value : float }
 
 type span = {
+  sp_id : int;
   sp_name : string;
   sp_cat : string;
   sp_pid : int;
@@ -11,10 +12,20 @@ type span = {
   sp_t0 : float;
   mutable sp_t1 : float;
   mutable sp_args : (string * string) list;
+  mutable sp_trace_id : int;
+  mutable sp_parent_id : int;
 }
 
 let enabled = ref false
 let trace_epoch = ref 0.0
+
+(* The registry tables are written on creation only (find-or-register,
+   normally at module init) but read by the telemetry server from a
+   background domain; the mutex covers exactly those two sides. Metric
+   mutation (c_value, bucket counts) stays lock-free: OCaml int and
+   pointer stores are atomic, so a concurrent reader sees a slightly
+   stale value, never a torn one. *)
+let registry_mu = Mutex.create ()
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
@@ -26,8 +37,15 @@ let span_count = ref 0
 let span_cap = ref 1_000_000
 let keep_one_in = ref 1
 let span_seq = ref 0
+let next_id = ref 0
 let sim_pid_current = ref 2
 let sim_runs = ref 0
+
+(* Span/trace ids share one sequence so a flow id can never collide
+   with a span id; 0 is reserved for "none". *)
+let fresh_id () =
+  next_id := !next_id + 1;
+  !next_id
 
 let wall_pid = 1
 let sim_pid () = !sim_pid_current
@@ -57,38 +75,45 @@ let reset () =
   spans_rev := [];
   span_count := 0;
   span_seq := 0;
+  next_id := 0;
   sim_pid_current := 2;
   sim_runs := 0;
   trace_epoch := Timer.now ()
 
+let registered find create =
+  Mutex.lock registry_mu;
+  let v = match find () with Some v -> v | None -> create () in
+  Mutex.unlock registry_mu;
+  v
+
 let counter ?(help = "") name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
+  registered
+    (fun () -> Hashtbl.find_opt counters name)
+    (fun () ->
       let c = { c_name = name; c_help = help; c_value = 0 } in
       Hashtbl.replace counters name c;
-      c
+      c)
 
 let incr c = if !enabled then c.c_value <- c.c_value + 1
 let add c n = if !enabled then c.c_value <- c.c_value + n
 
 let gauge ?(help = "") name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
+  registered
+    (fun () -> Hashtbl.find_opt gauges name)
+    (fun () ->
       let g = { g_name = name; g_help = help; g_value = 0.0 } in
       Hashtbl.replace gauges name g;
-      g
+      g)
 
 let set_gauge g v = if !enabled then g.g_value <- v
 
 let histogram ?(help = "") ?(unit_ = "s") name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
+  registered
+    (fun () -> Hashtbl.find_opt histograms name)
+    (fun () ->
       let h = Histogram.create ~help ~unit_ name in
       Hashtbl.replace histograms name h;
-      h
+      h)
 
 let observe h v = if !enabled then Histogram.observe h v
 let observe_int h n = if !enabled then Histogram.observe h (float_of_int n)
@@ -102,7 +127,7 @@ let record_span sp =
     span_count := !span_count + 1
   end
 
-let start_span ?(cat = "span") ?(args = []) ~pid ~tid ?at name =
+let start_span ?(cat = "span") ?(args = []) ?(trace_id = 0) ?(parent_id = 0) ~pid ~tid ?at name =
   if not !enabled then None
   else begin
     span_seq := !span_seq + 1;
@@ -110,8 +135,9 @@ let start_span ?(cat = "span") ?(args = []) ~pid ~tid ?at name =
     else if !span_count >= !span_cap then None
     else begin
       let t0 = match at with Some t -> t | None -> rel_time (Timer.now ()) in
-      Some { sp_name = name; sp_cat = cat; sp_pid = pid; sp_tid = tid; sp_t0 = t0;
-             sp_t1 = Float.nan; sp_args = args }
+      Some { sp_id = fresh_id (); sp_name = name; sp_cat = cat; sp_pid = pid; sp_tid = tid;
+             sp_t0 = t0; sp_t1 = Float.nan; sp_args = args; sp_trace_id = trace_id;
+             sp_parent_id = parent_id }
     end
   end
 
@@ -122,10 +148,13 @@ let finish_span ?at ?(args = []) = function
       if args <> [] then sp.sp_args <- sp.sp_args @ args;
       record_span sp
 
-let emit_span ?(cat = "span") ?(args = []) ~pid ~tid ~t0 ~t1 name =
+let emit_span ?(cat = "span") ?(args = []) ?(trace_id = 0) ?(parent_id = 0) ~pid ~tid ~t0 ~t1 name =
   if !enabled then
-    record_span { sp_name = name; sp_cat = cat; sp_pid = pid; sp_tid = tid; sp_t0 = t0;
-                  sp_t1 = t1; sp_args = args }
+    record_span { sp_id = fresh_id (); sp_name = name; sp_cat = cat; sp_pid = pid; sp_tid = tid;
+                  sp_t0 = t0; sp_t1 = t1; sp_args = args; sp_trace_id = trace_id;
+                  sp_parent_id = parent_id }
+
+let span_id = function None -> 0 | Some sp -> sp.sp_id
 
 let category_acc cat =
   match Hashtbl.find_opt categories cat with
@@ -144,8 +173,9 @@ let time_span ?(cat = "phase") ?(args = []) ?(pid = wall_pid) ?(tid = 0) name f 
     let t1 = Timer.now () in
     if !enabled then begin
       Timer.add (category_acc cat) (t1 -. t0);
-      record_span { sp_name = name; sp_cat = cat; sp_pid = pid; sp_tid = tid;
-                    sp_t0 = rel_time t0; sp_t1 = rel_time t1; sp_args = args }
+      record_span { sp_id = fresh_id (); sp_name = name; sp_cat = cat; sp_pid = pid; sp_tid = tid;
+                    sp_t0 = rel_time t0; sp_t1 = rel_time t1; sp_args = args; sp_trace_id = 0;
+                    sp_parent_id = 0 }
     end;
     t1 -. t0
   in
@@ -155,16 +185,22 @@ let time_span ?(cat = "phase") ?(args = []) ?(pid = wall_pid) ?(tid = 0) name f 
       ignore (finish ());
       raise e
 
+let snapshot fold =
+  Mutex.lock registry_mu;
+  let l = fold () in
+  Mutex.unlock registry_mu;
+  l
+
 let all_counters () =
-  Hashtbl.fold (fun _ c acc -> c :: acc) counters []
+  snapshot (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) counters [])
   |> List.sort (fun a b -> String.compare a.c_name b.c_name)
 
 let all_gauges () =
-  Hashtbl.fold (fun _ g acc -> g :: acc) gauges []
+  snapshot (fun () -> Hashtbl.fold (fun _ g acc -> g :: acc) gauges [])
   |> List.sort (fun a b -> String.compare a.g_name b.g_name)
 
 let all_histograms () =
-  Hashtbl.fold (fun _ h acc -> h :: acc) histograms []
+  snapshot (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) histograms [])
   |> List.sort (fun a b -> String.compare (Histogram.name a) (Histogram.name b))
 
 let all_spans () =

@@ -1,8 +1,19 @@
 (** Prometheus text-format dump of the registry: counters and gauges as
     single samples, histograms as summaries with p50/p95/p99 quantile
-    labels plus [_sum]/[_count]. Metric names are sanitised to the
-    Prometheus charset with an [rma_] prefix. *)
+    labels plus [_sum]/[_count], and an [rma_run_info] gauge carrying
+    the journal's run id as a label. Metric names are sanitised to the
+    Prometheus charset with an [rma_] prefix; HELP text and label
+    values are escaped per the exposition format. *)
 
-val to_text : unit -> string
+val to_text : ?filter:(string -> bool) -> unit -> string
+(** [filter] receives the {e raw} registry name (plus ["run_info"] for
+    the synthetic metric) and selects which families to render; default
+    keeps everything. *)
 
 val write : path:string -> unit -> unit
+
+val escape_help : string -> string
+(** Escape backslash and newline for [# HELP] lines. *)
+
+val escape_label_value : string -> string
+(** Escape backslash, newline and double quote for label values. *)

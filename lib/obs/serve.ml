@@ -1,0 +1,113 @@
+(* A deliberately tiny HTTP/1.0-style responder: one background domain,
+   sequential accept loop, three GET routes. It exists so an operator
+   (or the CI smoke leg) can curl the detector while a run is in
+   progress; it is not a web server. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  mutable dom : unit Domain.t option;
+}
+
+let http_response ?(status = "200 OK") ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let route path =
+  match path with
+  | "/metrics" ->
+      (* Refresh the resource gauges so a scrape always sees current
+         GC/RSS numbers, not the last explicit sample. *)
+      Telemetry.sample ();
+      http_response ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+        (Prometheus.to_text ())
+  | "/healthz" -> http_response ~content_type:"text/plain; charset=utf-8" "ok\n"
+  | "/events" ->
+      let body =
+        Events.recent () |> List.map (fun ev -> Events.line ev ^ "\n") |> String.concat ""
+      in
+      http_response ~content_type:"application/x-ndjson; charset=utf-8" body
+  | _ -> http_response ~status:"404 Not Found" ~content_type:"text/plain; charset=utf-8" "not found\n"
+
+let handle_client fd =
+  let buf = Bytes.create 2048 in
+  let n = try Unix.read fd buf 0 2048 with Unix.Unix_error _ -> 0 in
+  if n > 0 then begin
+    let req = Bytes.sub_string buf 0 n in
+    let path =
+      match String.split_on_char ' ' req with
+      | _meth :: path :: _ ->
+          (* Strip any query string; routes take no parameters. *)
+          (match String.index_opt path '?' with
+          | Some i -> String.sub path 0 i
+          | None -> path)
+      | _ -> "/"
+    in
+    let resp = route path in
+    let rec write_all off =
+      if off < String.length resp then
+        match Unix.write_substring fd resp off (String.length resp - off) with
+        | 0 -> ()
+        | w -> write_all (off + w)
+        | exception Unix.Unix_error _ -> ()
+    in
+    write_all 0
+  end
+
+let accept_loop t () =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.accept t.sock with
+      | fd, _addr ->
+          (try handle_client fd with _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let start ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt sock Unix.SO_REUSEADDR true;
+     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen sock 16
+   with e ->
+     (try Unix.close sock with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t = { sock; port; stopping = Atomic.make false; dom = None } in
+  t.dom <- Some (Domain.spawn (accept_loop t));
+  Events.emit ~kv:[ ("port", string_of_int port) ] Events.Info "serve";
+  t
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.get t.stopping) then begin
+    Atomic.set t.stopping true;
+    (* shutdown on the listening socket fails the blocked accept (the
+       loop then re-checks [stopping] and exits); a self-connection is
+       the portable fallback where shutdown doesn't wake it. The fd is
+       closed only after the join so accept never races a reused fd. *)
+    (try Unix.shutdown t.sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try
+       let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+       (try Unix.connect c (Unix.ADDR_INET (Unix.inet_addr_loopback, t.port))
+        with Unix.Unix_error _ -> ());
+       Unix.close c
+     with Unix.Unix_error _ -> ());
+    (match t.dom with
+    | Some d ->
+        Domain.join d;
+        t.dom <- None
+    | None -> ());
+    try Unix.close t.sock with Unix.Unix_error _ -> ()
+  end

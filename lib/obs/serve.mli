@@ -1,0 +1,21 @@
+(** Live telemetry endpoint: a minimal HTTP responder on a loopback
+    port, answered from a background domain so the detector can be
+    inspected {e while} a run is in progress ([--obs-serve PORT]).
+
+    Routes: [/metrics] (Prometheus text, gauges refreshed per scrape),
+    [/healthz] ([ok]), and [/events] (the journal's in-memory ring as
+    JSON lines). Anything else is 404. One request per connection;
+    requests are served sequentially. *)
+
+type t
+
+val start : port:int -> t
+(** Bind 127.0.0.1:[port] ([0] picks an ephemeral port, see {!port})
+    and spawn the serving domain. Raises [Unix.Unix_error] when the
+    bind fails (port taken). *)
+
+val port : t -> int
+(** The bound port (resolves an ephemeral request). *)
+
+val stop : t -> unit
+(** Shut the listener down and join the serving domain. Idempotent. *)

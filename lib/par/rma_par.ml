@@ -1,4 +1,5 @@
 module Obs = Rma_obs.Obs
+module Events = Rma_obs.Events
 
 let obs_shard_inserts =
   Obs.counter ~help:"Work items routed to shard queues" "par.shard_inserts"
@@ -80,8 +81,18 @@ let ensure_workers n =
   if !spawned < n then begin
     Mutex.lock spawn_mu;
     while !spawned < n do
-      let w = workers.(!spawned) in
-      ignore (Domain.spawn (fun () -> worker_loop w));
+      let idx = !spawned in
+      let w = workers.(idx) in
+      ignore
+        (Domain.spawn (fun () ->
+             (* Stamp the domain's shard identity so events emitted from
+                inside tasks (governor degradation, budget exhaustion)
+                carry the right shard without plumbing. *)
+             Events.set_current_shard idx;
+             worker_loop w));
+      Events.emit ~shard:idx
+        ~kv:[ ("event", "worker_spawn"); ("worker", string_of_int idx) ]
+        Events.Debug "par";
       incr spawned
     done;
     Mutex.unlock spawn_mu
@@ -106,6 +117,14 @@ type shard = {
       (* Caller-thread only: tasks submitted at or after the crash, in
          submission order — exactly the work queued since the last
          barrier that the dead worker never ran. *)
+  mutable win_t0 : float;
+      (* Absolute start of the first task and end of the last task this
+         shard ran since the previous barrier (0.0 = no work yet).
+         Written like work_seconds (worker, between tasks; ordered
+         through the engine mutex), read and reset by the caller at the
+         barrier to emit one "shard work" span per inter-barrier
+         window. *)
+  mutable win_t1 : float;
 }
 
 type recovery_stats = { crashes : int; recoveries : int; fallbacks : int; overflows : int }
@@ -122,6 +141,11 @@ type t = {
   mutable recoveries : int;
   mutable fallbacks : int;
   mutable overflows : int;
+  mutable sched_trace : int;
+      (* Causal-flow id minted by the latest barrier span: shard work
+         spans of the following inter-barrier window bind to it, which
+         is what draws barrier→shard arrows in the Chrome trace. 0
+         until the first barrier. *)
 }
 
 let create ?jobs ?(queue_capacity = 1024) () =
@@ -134,13 +158,21 @@ let create ?jobs ?(queue_capacity = 1024) () =
     changed = Condition.create ();
     shards =
       Array.init n_jobs (fun _ ->
-          { inflight = 0; work_seconds = 0.0; crashed = false; journal = Queue.create () });
+          {
+            inflight = 0;
+            work_seconds = 0.0;
+            crashed = false;
+            journal = Queue.create ();
+            win_t0 = 0.0;
+            win_t1 = 0.0;
+          });
     pend = 0;
     failure = None;
     crashes = 0;
     recoveries = 0;
     fallbacks = 0;
     overflows = 0;
+    sched_trace = 0;
   }
 
 let jobs t = t.n_jobs
@@ -168,7 +200,10 @@ let dispatch t ~shard f =
   let task () =
     let t0 = Rma_util.Timer.now () in
     let err = (try f (); None with e -> Some e) in
-    sh.work_seconds <- sh.work_seconds +. (Rma_util.Timer.now () -. t0);
+    let t1 = Rma_util.Timer.now () in
+    sh.work_seconds <- sh.work_seconds +. (t1 -. t0);
+    if sh.win_t0 = 0.0 then sh.win_t0 <- t0;
+    sh.win_t1 <- t1;
     Mutex.lock t.mu;
     (match (err, t.failure) with Some e, None -> t.failure <- Some e | _ -> ());
     sh.inflight <- sh.inflight - 1;
@@ -188,7 +223,10 @@ let dispatch t ~shard f =
 let run_inline t sh f =
   let t0 = Rma_util.Timer.now () in
   let err = (try f (); None with e -> Some e) in
-  sh.work_seconds <- sh.work_seconds +. (Rma_util.Timer.now () -. t0);
+  let t1 = Rma_util.Timer.now () in
+  sh.work_seconds <- sh.work_seconds +. (t1 -. t0);
+  if sh.win_t0 = 0.0 then sh.win_t0 <- t0;
+  sh.win_t1 <- t1;
   match (err, t.failure) with Some e, None -> t.failure <- Some e | _ -> ()
 
 let wait_shard_idle t sh =
@@ -205,22 +243,40 @@ let drain t =
   done;
   Mutex.unlock t.mu
 
-let crash_shard t sh f =
+let crash_shard t ~shard sh f =
   sh.crashed <- true;
   t.crashes <- t.crashes + 1;
   Obs.incr obs_worker_crashes;
+  (* The ordinal that produced this crash is the one the fire call just
+     consumed; with the plan seed it replays the fault exactly. *)
+  Events.emit ~shard
+    ~kv:
+      [
+        ("event", "worker_crash");
+        ("site", Rma_fault.site_name Rma_fault.Worker_crash);
+        ("ordinal", string_of_int (Rma_fault.ordinal Rma_fault.Worker_crash - 1));
+      ]
+    Events.Warn "par";
   Queue.push f sh.journal
 
 let submit t ~shard f =
   let sh = t.shards.(shard) in
   if sh.crashed then Queue.push f sh.journal
   else if not (Rma_fault.active ()) then dispatch t ~shard f
-  else if Rma_fault.fire Rma_fault.Worker_crash then crash_shard t sh f
+  else if Rma_fault.fire Rma_fault.Worker_crash then crash_shard t ~shard sh f
   else if Rma_fault.fire Rma_fault.Queue_overflow then begin
     (* Overflow degrades this one task to inline execution; draining the
        shard first preserves the per-shard submission order. *)
     t.overflows <- t.overflows + 1;
     Obs.incr obs_queue_overflows;
+    Events.emit ~shard
+      ~kv:
+        [
+          ("event", "queue_overflow");
+          ("site", Rma_fault.site_name Rma_fault.Queue_overflow);
+          ("ordinal", string_of_int (Rma_fault.ordinal Rma_fault.Queue_overflow - 1));
+        ]
+      Events.Warn "par";
     wait_shard_idle t sh;
     run_inline t sh f
   end
@@ -258,13 +314,16 @@ let recover t =
           Queue.iter
             (fun f ->
               if sh.crashed then Queue.push f sh.journal
-              else if Rma_fault.fire Rma_fault.Worker_crash then crash_shard t sh f
+              else if Rma_fault.fire Rma_fault.Worker_crash then crash_shard t ~shard sh f
               else dispatch t ~shard f)
             replay;
           drain t;
           if not sh.crashed then begin
             t.recoveries <- t.recoveries + 1;
-            Obs.incr obs_shard_recoveries
+            Obs.incr obs_shard_recoveries;
+            Events.emit ~shard
+              ~kv:[ ("event", "shard_recovery"); ("attempts", string_of_int !attempts) ]
+              Events.Info "par"
           end
         done;
         if sh.crashed then begin
@@ -272,6 +331,14 @@ let recover t =
           sh.crashed <- false;
           t.fallbacks <- t.fallbacks + 1;
           Obs.incr obs_recovery_fallbacks;
+          Events.emit ~shard
+            ~kv:
+              [
+                ("event", "sequential_fallback");
+                ("reason", "retries_exhausted");
+                ("journaled", string_of_int (Queue.length sh.journal));
+              ]
+            Events.Warn "par";
           while not (Queue.is_empty sh.journal) do
             run_inline t sh (Queue.pop sh.journal)
           done
@@ -280,6 +347,24 @@ let recover t =
     t.shards
 
 let has_crashed t = Array.exists (fun sh -> sh.crashed) t.shards
+
+(* Emit one "shard work" span per shard that ran tasks since the last
+   barrier (wall pid, tid = shard + 1), bound by parent_id to the flow
+   the previous barrier span originated — that is the arrow from the
+   barrier that scheduled the work to the shard that ran it. Caller
+   thread, after drain: no task is concurrently writing the window. *)
+let emit_shard_windows t =
+  Array.iteri
+    (fun shard sh ->
+      if sh.win_t0 > 0.0 then begin
+        Obs.emit_span ~cat:"shard" ~parent_id:t.sched_trace
+          ~args:[ ("shard", string_of_int shard) ]
+          ~pid:Obs.wall_pid ~tid:(shard + 1) ~t0:(Obs.rel_time sh.win_t0)
+          ~t1:(Obs.rel_time sh.win_t1) "shard work";
+        sh.win_t0 <- 0.0;
+        sh.win_t1 <- 0.0
+      end)
+    t.shards
 
 let barrier t =
   let t0 = Rma_util.Timer.now () in
@@ -291,7 +376,15 @@ let barrier t =
   Mutex.unlock t.mu;
   if Obs.is_enabled () then begin
     Obs.incr obs_barriers;
-    Obs.observe obs_barrier_wait_ns ((Rma_util.Timer.now () -. t0) *. 1e9)
+    let t1 = Rma_util.Timer.now () in
+    Obs.observe obs_barrier_wait_ns ((t1 -. t0) *. 1e9);
+    emit_shard_windows t;
+    (* The barrier span originates the causal flow that the next
+       window's shard spans will bind to. *)
+    let trace = Obs.fresh_id () in
+    Obs.emit_span ~cat:"barrier" ~trace_id:trace ~pid:Obs.wall_pid ~tid:0
+      ~t0:(Obs.rel_time t0) ~t1:(Obs.rel_time t1) "epoch barrier";
+    t.sched_trace <- trace
   end;
   match err with Some e -> raise e | None -> ()
 

@@ -38,8 +38,20 @@
     order and runs each task exactly once, so engine-level faults are
     always verdict-preserving — recoveries are visible on the
     [par.worker_crashes], [par.shard_recoveries],
-    [par.recovery_fallbacks] and [par.queue_overflows] Obs counters and
-    in {!recovery_stats}. *)
+    [par.recovery_fallbacks] and [par.queue_overflows] Obs counters, in
+    {!recovery_stats}, and as structured {!Rma_obs.Events} journal
+    records (component ["par"], carrying the fault site and ordinal so
+    an occurrence replays from the plan seed alone).
+
+    {b Causal tracing}: each {!barrier} records an ["epoch barrier"]
+    span originating a flow id, and each shard that ran tasks in the
+    following inter-barrier window records one ["shard work"] span
+    (wall pid, tid = shard + 1) bound to that id — the Chrome-trace
+    exporter renders the pair as an arrow from the barrier that
+    scheduled the work to the shard that ran it, making a slow barrier
+    attributable to its slowest shard. Worker domains also stamp
+    {!Rma_obs.Events.set_current_shard} so events emitted from inside
+    tasks carry their shard. *)
 
 type t
 

@@ -1,0 +1,130 @@
+module Obs = Rma_obs.Obs
+module Events = Rma_obs.Events
+
+type opts = {
+  obs_out : string option;
+  obs_summary : bool;
+  obs_prometheus : string option;
+  obs_events : string option;
+  obs_level : string option;
+  obs_serve : int option;
+  obs_sample : int;
+  races_json : string option;
+  races_sarif : string option;
+  batch_inserts : bool;
+  jobs : int option;
+  fault_plan : string option;
+  budget : string option;
+}
+
+let default =
+  {
+    obs_out = None;
+    obs_summary = false;
+    obs_prometheus = None;
+    obs_events = None;
+    obs_level = None;
+    obs_serve = None;
+    obs_sample = 1;
+    races_json = None;
+    races_sarif = None;
+    batch_inserts = false;
+    jobs = None;
+    fault_plan = None;
+    budget = None;
+  }
+
+let wants_races opts = opts.races_json <> None || opts.races_sarif <> None
+
+let wants_obs opts =
+  opts.obs_out <> None || opts.obs_summary || opts.obs_prometheus <> None
+  || opts.obs_events <> None || opts.obs_serve <> None
+
+(* A bad spec is a usage error, not a crash mid-run: report and exit
+   with the code the CLI has always used for spec errors. *)
+let usage_error ~prog what spec msg =
+  Printf.eprintf "%s: bad %s %S: %s\n%!" prog what spec msg;
+  exit 124
+
+(* [f] returns the run's race reports; exports happen afterwards, the
+   obs ones even if [f] raises. Everything that stores or engines
+   snapshot at tool creation (flight recorder, batching default, shard
+   count, fault plan, budget) must be applied before [f] runs, which is
+   why all the knobs live here and not in the exporters. *)
+let with_diag ?(prog = "rma_race") ?(generator = "rma_race") opts f =
+  let active = wants_obs opts in
+  if active then begin
+    Obs.enable ();
+    Obs.set_sampling ~keep_one_in:(max 1 opts.obs_sample)
+  end;
+  (* Environment first, explicit flags override. *)
+  Events.configure_from_env ();
+  Option.iter
+    (fun s ->
+      match Events.level_of_string s with
+      | Some l -> Events.set_level l
+      | None -> usage_error ~prog "--obs-level" s "expected debug, info, warn or error")
+    opts.obs_level;
+  Option.iter Events.set_sink opts.obs_events;
+  if wants_races opts then Rma_store.Flight_recorder.enable ();
+  if opts.batch_inserts then Rma_store.Disjoint_store.set_batch_default true;
+  Option.iter Rma_par.set_default_jobs opts.jobs;
+  Option.iter
+    (fun spec ->
+      match Rma_fault.Plan.of_spec spec with
+      | Ok plan -> Rma_fault.install plan
+      | Error msg -> usage_error ~prog "--fault-plan" spec msg)
+    opts.fault_plan;
+  Option.iter
+    (fun spec ->
+      match Rma_fault.Budget.of_spec spec with
+      | Ok budget -> Rma_fault.Budget.set_default (Some budget)
+      | Error msg -> usage_error ~prog "--budget" spec msg)
+    opts.budget;
+  let server =
+    Option.map
+      (fun port ->
+        let s = Rma_obs.Serve.start ~port in
+        Printf.eprintf "obs: serving /metrics /healthz /events on 127.0.0.1:%d\n%!"
+          (Rma_obs.Serve.port s);
+        s)
+      opts.obs_serve
+  in
+  let obs_export () =
+    Option.iter Rma_obs.Serve.stop server;
+    if active then begin
+      let write_file what write path =
+        try
+          write ~path ();
+          Printf.eprintf "obs: wrote %s to %s\n%!" what path
+        with Sys_error msg -> Printf.eprintf "obs: cannot write %s: %s\n%!" what msg
+      in
+      Option.iter (write_file "Chrome trace" Rma_obs.Chrome_trace.write) opts.obs_out;
+      Option.iter (write_file "Prometheus metrics" Rma_obs.Prometheus.write) opts.obs_prometheus;
+      Option.iter
+        (fun path -> Printf.eprintf "obs: wrote event journal to %s\n%!" path)
+        opts.obs_events;
+      Events.close ();
+      if opts.obs_summary then print_string (Rma_obs.Summary.to_string ())
+    end
+  in
+  let reports = Fun.protect ~finally:obs_export f in
+  (* Ids are per tool run; a subcommand aggregating several runs (suite)
+     would export duplicates, so renumber to the export's own 1..n —
+     identity for single-run subcommands, whose stored reports are
+     already sequential. *)
+  let reports =
+    List.mapi
+      (fun i r ->
+        let module Report = Rma_analysis.Report in
+        { r with Report.provenance = { r.Report.provenance with Report.id = i + 1 } })
+      reports
+  in
+  let write_races what write path =
+    try
+      write ~path ~generator reports;
+      Printf.eprintf "races: wrote %s (%d reports) to %s\n%!" what (List.length reports) path
+    with Sys_error msg -> Printf.eprintf "races: cannot write %s: %s\n%!" what msg
+  in
+  Option.iter (write_races "JSON" Race_export.write_json) opts.races_json;
+  Option.iter (write_races "SARIF" Race_export.write_sarif) opts.races_sarif

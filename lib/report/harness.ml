@@ -55,6 +55,10 @@ let measure ~nprocs ?(config = Mpi_sim.Config.default) ?(jobs = 1) ~workload kin
       (Printf.sprintf "measure %s (%d ranks)" (kind_name kind) nprocs)
       (fun () -> workload ~config ~observer)
   in
+  (* One telemetry sample per measurement keeps the GC/RSS/throughput
+     gauges fresh even for workloads whose epochs are too sparse to hit
+     the analyzer's rate-limited sampler. *)
+  Rma_obs.Telemetry.sample ();
   let b = tool.Tool.bst_summary () in
   let epoch_total = Array.fold_left ( +. ) 0.0 result.Mpi_sim.Runtime.epoch_times in
   {

@@ -3,7 +3,17 @@ module Obs = Rma_obs.Obs
 
 let schema_version = 1
 
-type sample = { name : string; wall_seconds : float; metrics : (string * float) list }
+type sample = {
+  name : string;
+  wall_seconds : float;
+  peak_rss_bytes : float;
+      (* Process high-water RSS observed by the end of the experiment
+         (monotone across a bench run). Informational in comparisons. *)
+  events_per_sec : float;
+      (* Store events processed / wall seconds for this experiment.
+         Informational in comparisons. *)
+  metrics : (string * float) list;
+}
 
 type record = {
   schema_version : int;
@@ -32,6 +42,8 @@ let json_of_sample s =
     [
       ("name", Json.String s.name);
       ("wall_seconds", Json.Float s.wall_seconds);
+      ("peak_rss_bytes", Json.Float s.peak_rss_bytes);
+      ("events_per_sec", Json.Float s.events_per_sec);
       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.metrics));
     ]
 
@@ -59,9 +71,16 @@ let rec map_result f = function
       let* ys = map_result f rest in
       Ok (y :: ys)
 
+let optional_float name j =
+  match Option.bind (Json.member name j) Json.to_float with Some v -> v | None -> 0.0
+
 let sample_of_json j =
   let* name = field "name" Json.to_str j in
   let* wall_seconds = field "wall_seconds" Json.to_float j in
+  (* Absent in records written before the telemetry fields existed
+     (still schema 1): default 0.0, and comparisons skip zeros. *)
+  let peak_rss_bytes = optional_float "peak_rss_bytes" j in
+  let events_per_sec = optional_float "events_per_sec" j in
   let* metrics_obj = field "metrics" Json.to_obj j in
   let* metrics =
     map_result
@@ -71,7 +90,7 @@ let sample_of_json j =
         | None -> Error (Printf.sprintf "ill-typed metric %S" k))
       metrics_obj
   in
-  Ok { name; wall_seconds; metrics }
+  Ok { name; wall_seconds; peak_rss_bytes; events_per_sec; metrics }
 
 let of_json j =
   let* version = field "schema_version" Json.to_int j in
@@ -141,6 +160,21 @@ let delta_of ~threshold ~sample_name ~metric ~old_value ~new_value =
   in
   { sample_name; metric; old_value; new_value; ratio; regression }
 
+(* The telemetry fields are informational this cycle: they appear in the
+   comparison table when they move, but never gate. Skipped entirely
+   when the baseline predates them (old value 0). *)
+let info_deltas old_s new_s =
+  List.filter_map
+    (fun (metric, old_value, new_value) ->
+      if old_value <= 0.0 then None
+      else
+        let d = delta_of ~threshold:Float.infinity ~sample_name:old_s.name ~metric ~old_value ~new_value in
+        Some { d with regression = false })
+    [
+      ("peak_rss_bytes", old_s.peak_rss_bytes, new_s.peak_rss_bytes);
+      ("events_per_sec", old_s.events_per_sec, new_s.events_per_sec);
+    ]
+
 let compare_records ?(threshold = 0.5) old_r new_r =
   List.concat_map
     (fun old_s ->
@@ -149,7 +183,8 @@ let compare_records ?(threshold = 0.5) old_r new_r =
       | Some new_s ->
           delta_of ~threshold ~sample_name:old_s.name ~metric:"wall_seconds"
             ~old_value:old_s.wall_seconds ~new_value:new_s.wall_seconds
-          :: List.filter_map
+          :: info_deltas old_s new_s
+          @ List.filter_map
                (fun (metric, old_value) ->
                  match List.assoc_opt metric new_s.metrics with
                  | None -> None

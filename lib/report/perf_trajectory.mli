@@ -12,6 +12,14 @@
 type sample = {
   name : string;  (** Experiment name: "table3", "fig10", "micro"... *)
   wall_seconds : float;  (** Real time of the whole experiment. *)
+  peak_rss_bytes : float;
+      (** Process peak RSS by the end of the experiment
+          ({!Rma_obs.Telemetry.peak_rss_bytes}; monotone across a bench
+          run). Informational in comparisons — never gates. 0.0 in
+          records written before the field existed. *)
+  events_per_sec : float;
+      (** Store events processed per wall second during the experiment.
+          Informational in comparisons — never gates. *)
   metrics : (string * float) list;  (** Flat, insertion-ordered. *)
 }
 

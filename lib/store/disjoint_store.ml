@@ -345,6 +345,7 @@ let try_seed t access =
 
 let insert_uninstrumented t access =
   t.inserts <- t.inserts + 1;
+  Rma_obs.Telemetry.note_event ();
   let outcome =
     if not t.fast_path then slow_insert t access
     else

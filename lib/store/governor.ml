@@ -76,13 +76,36 @@ let coarsen_accesses accesses =
 let record_drops t n =
   if n > 0 then begin
     t.drops <- t.drops + n;
-    Obs.add obs_drops n
+    Obs.add obs_drops n;
+    (* Degradation is exactly what an operator must not miss: journal
+       every batch of drops with the policy that caused it. Runs on
+       whichever domain the store insert ran on; the event carries that
+       domain's shard stamp. *)
+    Rma_obs.Events.emit
+      ~kv:
+        [
+          ("event", "budget_degradation");
+          ("policy", Budget.policy_name t.budget.Budget.policy);
+          ("drops", string_of_int n);
+          ("total_drops", string_of_int t.drops);
+          ("cap", string_of_int t.cap);
+        ]
+      Rma_obs.Events.Warn "governor"
   end
 
 let drops = function None -> 0 | Some g -> g.drops
 let degraded t = drops t > 0
 
 let exhausted ~store ~size t =
+  Rma_obs.Events.emit
+    ~kv:
+      [
+        ("event", "budget_exhausted");
+        ("store", store);
+        ("size", string_of_int size);
+        ("cap", string_of_int t.cap);
+      ]
+    Rma_obs.Events.Error "governor";
   raise
     (Budget.Exhausted
        (Printf.sprintf "%s store over budget: %d nodes > cap %d (%s)" store size t.cap

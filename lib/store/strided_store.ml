@@ -208,22 +208,32 @@ let insert_unbudgeted t access =
   match detect_race t access near with
   | Some existing -> Store_intf.Race_detected { existing; incoming = access }
   | None -> (
+      (* Regions whose elements already claim bytes of this access. Any
+         region with an element overlapping [iv] has a hull overlapping
+         [iv], so scanning [near] is exhaustive. *)
+      let covering = List.filter (fun r -> region_covers r iv) near in
       (* Try to extend a region: the candidate whose next element slot is
          exactly this access. Look beyond the widened query — the gap can
          be larger than one byte — by also stabbing at the position a
-         previous element would occupy. *)
-      let behind =
-        Tree.stab t.tree
-          (Interval.make ~lo:(Interval.lo iv - 4096) ~hi:(Interval.lo iv - 1))
-      in
-      let all_candidates = List.sort_uniq compare (near @ behind) in
+         previous element would occupy. Only legal on virgin bytes: if
+         any region already covers part of [iv], extending would record
+         the access twice with independent dominance state (overlapping
+         regions, one of them stale) — that case must fragment instead. *)
       let extension =
-        List.find_map
-          (fun r ->
-            match extension_of r access with
-            | Some extended when not (region_covers r iv) -> Some (r, extended)
-            | _ -> None)
-          all_candidates
+        if covering <> [] then None
+        else begin
+          let behind =
+            Tree.stab t.tree
+              (Interval.make ~lo:(Interval.lo iv - 4096) ~hi:(Interval.lo iv - 1))
+          in
+          let all_candidates = List.sort_uniq compare (near @ behind) in
+          List.find_map
+            (fun r ->
+              match extension_of r access with
+              | Some extended -> Some (r, extended)
+              | None -> None)
+            all_candidates
+        end
       in
       match extension with
       | Some (old_region, extended) ->
@@ -233,7 +243,6 @@ let insert_unbudgeted t access =
           note_peak t;
           Store_intf.Inserted
       | None ->
-          let covering = List.filter (fun r -> region_covers r iv) near in
           if covering = [] then begin
             Tree.insert t.tree (region_of_access access);
             note_peak t;
@@ -270,6 +279,7 @@ let insert_unbudgeted t access =
           end)
 
 let insert_uninstrumented t access =
+  Rma_obs.Telemetry.note_event ();
   let outcome = insert_unbudgeted t access in
   (match outcome with
   | Store_intf.Inserted ->

@@ -259,7 +259,7 @@ let parse_footer line =
   | [ p; n ] when p = footer_prefix -> int_of_string_opt n
   | _ -> None
 
-let read_all ic =
+let read_all_raw ic =
   match input_line ic with
   | exception End_of_file -> Error { at_line = 1; reason = "empty trace" }
   | first when first <> header && first <> legacy_header ->
@@ -292,3 +292,15 @@ let read_all ic =
             | Error reason -> Error { at_line = lineno; reason })
       in
       go 2 []
+
+let read_all ic =
+  match read_all_raw ic with
+  | Ok _ as ok -> ok
+  | Error e as err ->
+      (* A rejected trace is an operational incident (corrupted file,
+         interrupted writer), not just a return value: journal it. *)
+      Rma_obs.Events.emit
+        ~kv:
+          [ ("event", "read_error"); ("at_line", string_of_int e.at_line); ("reason", e.reason) ]
+        Rma_obs.Events.Error "codec";
+      err

@@ -22,6 +22,7 @@ let () =
       ("graph500", Test_graph500.suite);
       ("memory", Test_memory.suite);
       ("obs", Test_obs.suite);
+      ("events", Test_events.suite);
       ("export", Test_export.suite);
       ("fault", Test_fault.suite);
     ]

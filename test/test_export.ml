@@ -280,7 +280,14 @@ let test_explain_names_merged_source () =
 
 (* --- perf trajectory ------------------------------------------------- *)
 
-let sample name wall metrics = { Perf_trajectory.name; wall_seconds = wall; metrics }
+let sample name wall metrics =
+  {
+    Perf_trajectory.name;
+    wall_seconds = wall;
+    peak_rss_bytes = 0.0;
+    events_per_sec = 0.0;
+    metrics;
+  }
 
 let record samples =
   {

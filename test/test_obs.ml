@@ -182,6 +182,48 @@ let test_prometheus_and_summary () =
   Alcotest.(check bool) "summary names the histogram" true (contains summary "test.latency_seconds");
   Alcotest.(check bool) "summary names the counter" true (contains summary "test.events")
 
+let test_prometheus_escaping () =
+  with_obs @@ fun () ->
+  let module Prometheus = Rma_obs.Prometheus in
+  let module Events = Rma_obs.Events in
+  (* Unit behaviour first: HELP escapes backslash and newline; label
+     values additionally escape the double quote (exposition format). *)
+  Alcotest.(check string) "help escaping" {|a\\b\nc "quoted"|}
+    (Prometheus.escape_help "a\\b\nc \"quoted\"");
+  Alcotest.(check string) "label value escaping" {|a\\b\nc \"quoted\"|}
+    (Prometheus.escape_label_value "a\\b\nc \"quoted\"");
+  (* Then end-to-end: a run id and HELP strings stuffed with every
+     special character must render as the golden exposition text. *)
+  let saved_run_id = Events.run_id () in
+  Fun.protect
+    ~finally:(fun () -> Events.set_run_id saved_run_id)
+    (fun () ->
+      Events.set_run_id "run\"esc\\7\nnext";
+      let c = Obs.counter ~help:"seen at C:\\tmp \"races\"\nsecond line" "esc.events" in
+      Obs.add c 3;
+      let g = Obs.gauge ~help:"gauge with a \\ and a\nbreak" "esc.depth" in
+      Obs.set_gauge g 1.5;
+      let text =
+        Prometheus.to_text
+          ~filter:(fun name ->
+            name = "run_info" || String.length name >= 4 && String.sub name 0 4 = "esc.")
+          ()
+      in
+      (* GOLDEN_OUT_PROM=/abs/path/test/golden/prometheus_escaping.txt
+         regenerates the golden file instead of comparing. *)
+      match Sys.getenv_opt "GOLDEN_OUT_PROM" with
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+      | None ->
+          let ic = open_in "golden/prometheus_escaping.txt" in
+          let golden =
+            Fun.protect
+              ~finally:(fun () -> close_in ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Alcotest.(check string) "exposition text matches the golden file" golden text)
+
 let suite =
   [
     Alcotest.test_case "histogram percentiles (log buckets)" `Quick test_histogram_percentiles;
@@ -194,4 +236,5 @@ let suite =
     Alcotest.test_case "span sampling and cap" `Quick test_span_sampling_and_cap;
     Alcotest.test_case "time_span feeds category accumulators" `Quick test_time_span_categories;
     Alcotest.test_case "prometheus + summary exporters" `Quick test_prometheus_and_summary;
+    Alcotest.test_case "prometheus exposition escaping (golden)" `Quick test_prometheus_escaping;
   ]

@@ -103,6 +103,31 @@ let test_exact_repeat_falls_back_without_explosion_of_races () =
   in
   Alcotest.(check bool) "repeat read safe" false (is_race outcome)
 
+let test_extension_never_tunnels_under_covered_bytes () =
+  (* Regression (QCHECK_SEED=11 shrinkage of the oracle property): an
+     access that is a legal stride continuation of one region may ALSO
+     land on bytes another region already covers. Extending then records
+     those bytes twice — the new element plus the stale other region —
+     and the stale copy later produces a false race. The extension fast
+     path must yield to the fragmentation fallback whenever any region
+     covers part of the incoming interval. *)
+  let store = Strided_store.create () in
+  (* Seed region: a Get at [9..14] (len 6). *)
+  ignore (Strided_store.insert store (acc ~seq:1 ~line:3 ~op:"MPI_Get" 9 14 Access_kind.Rma_read));
+  (* Unrelated local write claims [39..53]. *)
+  ignore
+    (Strided_store.insert store (acc ~seq:2 ~line:4 ~op:"Store" 39 53 Access_kind.Local_write));
+  (* Same shape and debug info as the seed Get, 39 bytes later: a valid
+     stride-2 continuation, but [48..53] sits inside the local write. *)
+  Alcotest.(check bool) "overlapping continuation inserts" false
+    (is_race (Strided_store.insert store (acc ~seq:3 ~line:3 ~op:"MPI_Get" 48 53 Access_kind.Rma_read)));
+  (* The Get dominates those bytes now; a second remote read of them is
+     race-free. Before the fix the stale LOCAL_WRITE copy flagged it. *)
+  Alcotest.(check bool) "re-read of absorbed bytes safe" false
+    (is_race
+       (Strided_store.insert store
+          (acc ~issuer:2 ~seq:4 ~line:4 ~op:"MPI_Get" 48 52 Access_kind.Rma_read)))
+
 let test_order_aware_in_strided () =
   let store = Strided_store.create () in
   ignore (Strided_store.insert store (acc ~seq:1 ~line:1 ~op:"Load" 0 7 Access_kind.Local_read));
@@ -194,6 +219,8 @@ let suite =
       test_irregular_position_starts_new_region;
     Alcotest.test_case "exact repeat handled by fallback" `Quick
       test_exact_repeat_falls_back_without_explosion_of_races;
+    Alcotest.test_case "extension never tunnels under covered bytes" `Quick
+      test_extension_never_tunnels_under_covered_bytes;
     Alcotest.test_case "order awareness preserved" `Quick test_order_aware_in_strided;
     QCheck_alcotest.to_alcotest prop_verdicts_agree_with_disjoint;
     QCheck_alcotest.to_alcotest prop_coverage_preserved;
