@@ -163,6 +163,7 @@ let run_par ~scale () =
         (metric_key [ pre; "races" ], float_of_int r.p_races);
         (metric_key [ pre; "nodes" ], float_of_int r.p_nodes);
         (metric_key [ pre; "speedup" ], r.p_speedup);
+        (metric_key [ pre; "critical_path_ms" ], r.p_critical_path *. 1000.0);
       ])
     rows
 
@@ -340,7 +341,7 @@ let run_micro () =
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let compare_mode ~threshold old_path new_path =
+let compare_mode ~threshold ~rss_threshold ~eps_threshold old_path new_path =
   let load path =
     match Perf_trajectory.load ~path with
     | Ok r -> r
@@ -350,7 +351,8 @@ let compare_mode ~threshold old_path new_path =
   in
   let old_record = load old_path and new_record = load new_path in
   let body, has_regressions =
-    Perf_trajectory.render_comparison ?threshold ~old_record ~new_record ()
+    Perf_trajectory.render_comparison ?threshold ?rss_threshold ?eps_threshold ~old_record
+      ~new_record ()
   in
   print_string body;
   exit (if has_regressions then 1 else 0)
@@ -366,6 +368,8 @@ let () =
   let json_out = ref None in
   let generator = ref "bench" in
   let threshold = ref None in
+  let rss_threshold = ref None in
+  let eps_threshold = ref None in
   let compare_paths = ref None in
   let selected = ref [] in
   let rec parse = function
@@ -404,6 +408,12 @@ let () =
     | "--threshold" :: v :: rest ->
         threshold := Some (float_of_string v);
         parse rest
+    | "--rss-threshold" :: v :: rest ->
+        rss_threshold := Some (float_of_string v);
+        parse rest
+    | "--events-threshold" :: v :: rest ->
+        eps_threshold := Some (float_of_string v);
+        parse rest
     | "--compare" :: old_path :: new_path :: rest ->
         compare_paths := Some (old_path, new_path);
         parse rest
@@ -433,7 +443,9 @@ let () =
   in
   parse args;
   (match !compare_paths with
-  | Some (old_path, new_path) -> compare_mode ~threshold:!threshold old_path new_path
+  | Some (old_path, new_path) ->
+      compare_mode ~threshold:!threshold ~rss_threshold:!rss_threshold
+        ~eps_threshold:!eps_threshold old_path new_path
   | None -> ());
   let selected = if !selected = [] then [ "all" ] else List.rev !selected in
   let scale = !scale and ranks = !ranks in
@@ -489,14 +501,17 @@ let () =
     List.map
       (fun name ->
         let events0 = Rma_obs.Telemetry.events_total () in
+        let crit0 = Rma_par.critical_path_total () in
         let metrics, wall = Rma_obs.Obs.time_span ~cat:"phase" name (fun () -> dispatch name) in
         let events = Rma_obs.Telemetry.events_total () - events0 in
+        let crit = Rma_par.critical_path_total () -. crit0 in
         Rma_obs.Telemetry.sample ();
         {
           Perf_trajectory.name;
           wall_seconds = wall;
           peak_rss_bytes = float_of_int (Rma_obs.Telemetry.peak_rss_bytes ());
           events_per_sec = (if wall > 0.0 then float_of_int events /. wall else 0.0);
+          critical_path_ms = crit *. 1000.0;
           metrics;
         })
       selected

@@ -165,7 +165,8 @@ let diag_term =
     $ races_sarif $ batch_inserts $ jobs $ fault_plan $ budget)
 
 let generator = "rma_race"
-let with_diag opts f = Diag.with_diag ~prog:"rma_race" ~generator opts f
+
+let with_diag ?workload opts f = Diag.with_diag ~prog:"rma_race" ~generator ?workload opts f
 
 let tool_enum = List.map (fun k -> (Toolbox.slug k, k)) Toolbox.all
 
@@ -250,7 +251,8 @@ let code_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CODE" ~doc:"Microbenchmark name.")
   in
   let run obs tool_choice name =
-    with_diag obs @@ fun () ->
+    with_diag ~workload:("code", [ ("tool", Toolbox.slug tool_choice); ("code", name) ]) obs
+    @@ fun () ->
     match Rma_microbench.Scenario.find name with
     | None ->
         Printf.eprintf "unknown code %S\n" name;
@@ -281,7 +283,18 @@ let minivite_cmd =
     Arg.(value & flag & info [ "inject" ] ~doc:"Duplicate one MPI_Put (the Figure 9 fault).")
   in
   let run obs tool_choice nprocs seed vertices inject =
-    with_diag obs @@ fun () ->
+    with_diag
+      ~workload:
+        ( "minivite",
+          [
+            ("tool", Toolbox.slug tool_choice);
+            ("ranks", string_of_int nprocs);
+            ("seed", string_of_int seed);
+            ("vertices", string_of_int vertices);
+            ("inject", string_of_bool inject);
+          ] )
+      obs
+    @@ fun () ->
     let config = config () in
     let params =
       {
@@ -318,7 +331,18 @@ let cfd_cmd =
     Arg.(value & opt int 432 & info [ "cells" ] ~docv:"C" ~doc:"Cells per halo chunk.")
   in
   let run obs tool_choice nprocs seed iterations cells =
-    with_diag obs @@ fun () ->
+    with_diag
+      ~workload:
+        ( "cfd",
+          [
+            ("tool", Toolbox.slug tool_choice);
+            ("ranks", string_of_int nprocs);
+            ("seed", string_of_int seed);
+            ("iterations", string_of_int iterations);
+            ("cells", string_of_int cells);
+          ] )
+      obs
+    @@ fun () ->
     let config = config () in
     let params =
       { Cfd_proxy.Halo.default_params with Cfd_proxy.Halo.iterations; cells_per_chunk = cells }
@@ -382,7 +406,17 @@ let bfs_cmd =
     Arg.(value & opt int 20_000 & info [ "vertices" ] ~docv:"V" ~doc:"Graph size.")
   in
   let run obs tool_choice nprocs seed vertices =
-    with_diag obs @@ fun () ->
+    with_diag
+      ~workload:
+        ( "bfs",
+          [
+            ("tool", Toolbox.slug tool_choice);
+            ("ranks", string_of_int nprocs);
+            ("seed", string_of_int seed);
+            ("vertices", string_of_int vertices);
+          ] )
+      obs
+    @@ fun () ->
     let config = config () in
     let params =
       {
@@ -434,6 +468,162 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export experiment data as CSV (and the suite as C sources).")
     Term.(const run $ diag_term $ dir_arg $ experiments_arg $ scale_arg)
 
+(* --- obs: journal analytics and crash replay --- *)
+
+module Journal = Rma_obs.Journal
+module Replay = Rma_report.Replay
+
+let journal_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"JOURNAL"
+        ~doc:"Event-journal JSON-lines file (written by $(b,--obs-events) / $(b,RMA_OBS_EVENTS)).")
+
+(* Reading is total: a truncated or bit-flipped journal yields its
+   decodable prefix plus an error naming the first bad line. The prefix
+   is still served (with the cut point on stderr); only a journal with
+   no readable events at all is a hard error. *)
+let read_journal path =
+  let r = Journal.read_file path in
+  (match r.Journal.error with
+  | Some e when r.Journal.events = [] ->
+      Printf.eprintf "obs: cannot read %s: %s\n" path (Journal.error_to_string e);
+      exit 2
+  | Some e ->
+      Printf.eprintf "obs: %s: %s — analysing the %d events before it\n" path
+        (Journal.error_to_string e)
+        (List.length r.Journal.events)
+  | None -> ());
+  r
+
+let obs_query_cmd =
+  let component_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "component"; "c" ] ~docv:"NAME"
+          ~doc:"Keep only events from this component (analyzer, par, governor, diag, codec...).")
+  in
+  let level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "level"; "l" ] ~docv:"LEVEL"
+          ~doc:"Keep only events at or above $(docv): debug, info, warn or error.")
+  in
+  let shard_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "shard" ] ~docv:"N" ~doc:"Keep only events of shard $(docv) (-1 = main thread).")
+  in
+  let run_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "run" ] ~docv:"RUN-ID" ~doc:"Keep only events of this run id.")
+  in
+  let since_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "since" ] ~docv:"SECONDS" ~doc:"Keep only events with ts >= $(docv).")
+  in
+  let until_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "until" ] ~docv:"SECONDS" ~doc:"Keep only events with ts <= $(docv).")
+  in
+  let run path component level shard run_id since until =
+    let f_min_level =
+      Option.map
+        (fun s ->
+          match Rma_obs.Events.level_of_string s with
+          | Some l -> l
+          | None ->
+              Printf.eprintf "obs query: bad --level %S: expected debug, info, warn or error\n" s;
+              exit 124)
+        level
+    in
+    let filter =
+      {
+        Journal.f_component = component;
+        f_min_level;
+        f_shard = shard;
+        f_run_id = run_id;
+        f_since = since;
+        f_until = until;
+      }
+    in
+    let r = read_journal path in
+    List.iter
+      (fun ev -> print_endline (Rma_obs.Events.line ev))
+      (Journal.filter_events filter r.Journal.events)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Filter a journal by component, level, shard, run id and time window; matching events \
+          are reprinted as JSON lines (pipe into jq or back into $(b,obs stats)).")
+    Term.(
+      const run $ journal_arg $ component_arg $ level_arg $ shard_arg $ run_arg $ since_arg
+      $ until_arg)
+
+let obs_stats_cmd =
+  let run path =
+    let r = read_journal path in
+    print_string
+      (Journal.render_stats ~source:path ?error:r.Journal.error (Journal.stats_of r.Journal.events))
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Aggregate a journal: event counts by component/level/shard, epoch-duration percentiles \
+          (p50/p95/p99) overall and per rank, fault and degradation counts, the critical-path \
+          total, and an events-per-second timeline.")
+    Term.(const run $ journal_arg)
+
+let obs_replay_cmd =
+  let dry_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ] ~doc:"Print what would be replayed without re-running anything.")
+  in
+  let run path dry =
+    let r = read_journal path in
+    match Replay.extract r.Journal.events with
+    | Error msg ->
+        Printf.eprintf "obs replay: %s\n" msg;
+        exit 2
+    | Ok plan ->
+        if dry then print_string (Replay.describe plan)
+        else (
+          match Replay.run plan with
+          | Error msg ->
+              Printf.eprintf "obs replay: %s\n" msg;
+              exit 2
+          | Ok outcome ->
+              print_string (Replay.render plan outcome);
+              if not (Replay.verdict plan outcome) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run the drill a journal records — same workload, parameters, shard count, fault \
+          plan and budget — and check the re-run crashes at the identical (site, ordinal, seed) \
+          coordinates and produces byte-identical verdicts. Exit 1 on mismatch.")
+    Term.(const run $ journal_arg $ dry_arg)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Post-mortem analytics over the structured event journal: query (filter), stats \
+          (aggregate) and replay (deterministically re-run a crashed drill).")
+    [ obs_query_cmd; obs_stats_cmd; obs_replay_cmd ]
+
 (* --- explain --- *)
 
 let explain_cmd =
@@ -449,18 +639,51 @@ let explain_cmd =
       & info [ "from"; "f" ] ~docv:"FILE"
           ~doc:"JSON race export to read (written by $(b,--races-json)).")
   in
-  let run id path =
-    match Rma_report.Race_export.load_json ~path with
+  let journal_flag =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Correlate the race with the event journal of the run that produced it: prints the \
+             journal events sharing the export's run id (crashes, recoveries, degradations) \
+             after the timeline. Requires a v2 export (written with diagnostics on).")
+  in
+  (* The export's run_id header is the correlation key; a v1 export (or
+     a run without diagnostics) has none, so the journal cannot be tied
+     to it and saying so beats guessing. *)
+  let print_correlated ~path ~journal run_id =
+    match run_id with
+    | None ->
+        Printf.eprintf
+          "explain: %s carries no run_id (v1 export or run without diagnostics); cannot \
+           correlate with %s\n"
+          path journal
+    | Some rid ->
+        let r = read_journal journal in
+        let events =
+          Journal.filter_events { Journal.no_filter with Journal.f_run_id = Some rid }
+            r.Journal.events
+        in
+        Printf.printf "\nJournal events of run %s (%d):\n" rid (List.length events);
+        List.iter (fun ev -> print_endline ("  " ^ Rma_obs.Events.line ev)) events;
+        if events = [] then
+          Printf.eprintf "explain: %s has no events for run %s (different run?)\n" journal rid
+  in
+  let run id path journal =
+    match Rma_report.Race_export.load_json_with_run_id ~path with
     | Error msg ->
         Printf.eprintf "explain: cannot read %s: %s\n" path msg;
         exit 2
-    | Ok reports -> (
+    | Ok (reports, run_id) -> (
         match Rma_report.Race_export.find_race ~id reports with
         | None ->
             Printf.eprintf "explain: no race with id %d in %s (%d reports; ids run from 1)\n" id
               path (List.length reports);
             exit 2
-        | Some r -> print_string (Rma_report.Race_export.explain r))
+        | Some r ->
+            print_string (Rma_report.Race_export.explain r);
+            Option.iter (fun j -> print_correlated ~path ~journal:j run_id) journal)
   in
   Cmd.v
     (Cmd.info "explain"
@@ -468,9 +691,22 @@ let explain_cmd =
          "Render one exported race as a full timeline: the epoch it fired in, the Figure 3 \
           matrix cell, both surviving accesses and the flight-recorder history of every source \
           access merged into each side.")
-    Term.(const run $ id_arg $ from_arg)
+    Term.(const run $ id_arg $ from_arg $ journal_flag)
 
 let () =
   let doc = "Data race detection for MPI-RMA programs (SC-W 2023 reproduction)" in
   let info = Cmd.info "rma_race" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ suite_cmd; code_cmd; minivite_cmd; cfd_cmd; bfs_cmd; experiment_cmd; export_cmd; explain_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            suite_cmd;
+            code_cmd;
+            minivite_cmd;
+            cfd_cmd;
+            bfs_cmd;
+            experiment_cmd;
+            export_cmd;
+            obs_cmd;
+            explain_cmd;
+          ]))

@@ -353,6 +353,10 @@ let observer st event =
       end;
       0.0
   | Event.Epoch_closed { win; rank; sim_time } ->
+      (* Wall time of the whole close handling (batch flush, journal,
+         window clear) feeds the epoch-close latency SLO; timed only
+         under Obs so the sequential hot path stays clock-free. *)
+      let close_t0 = if Obs.is_enabled () then Rma_util.Timer.now () else 0.0 in
       let tree = tree_for st (rank, win) in
       tree.epoch_open <- false;
       store_flush_batch tree.store;
@@ -391,7 +395,9 @@ let observer st event =
         Hashtbl.iter (fun (_, w) t -> if w = win then store_clear t.store) st.trees
       end;
       (* The end-of-epoch MPI_Reduce counting remote accesses (§5.1). *)
-      Config.collective_cost st.config ~nprocs:st.nprocs ~bytes_count:8
+      let cost = Config.collective_cost st.config ~nprocs:st.nprocs ~bytes_count:8 in
+      if close_t0 > 0.0 then Telemetry.note_epoch_close (Rma_util.Timer.now () -. close_t0);
+      cost
   | Event.Flushed { win; rank; _ } ->
       (* Deliberately untreated by default: MPI_Win_flush only orders the
          caller's operations, so clearing the tree here causes false

@@ -10,26 +10,45 @@ type t = {
   mutable dom : unit Domain.t option;
 }
 
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | 0 -> ()
+      | w -> go (off + w)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
 let http_response ?(status = "200 OK") ~content_type body =
   Printf.sprintf
     "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     status content_type (String.length body) body
 
-let route path =
+let respond fd path =
   match path with
   | "/metrics" ->
       (* Refresh the resource gauges so a scrape always sees current
          GC/RSS numbers, not the last explicit sample. *)
       Telemetry.sample ();
-      http_response ~content_type:"text/plain; version=0.0.4; charset=utf-8"
-        (Prometheus.to_text ())
-  | "/healthz" -> http_response ~content_type:"text/plain; charset=utf-8" "ok\n"
+      write_all fd
+        (http_response ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+           (Prometheus.to_text ()))
+  | "/healthz" -> write_all fd (http_response ~content_type:"text/plain; charset=utf-8" "ok\n")
   | "/events" ->
-      let body =
-        Events.recent () |> List.map (fun ev -> Events.line ev ^ "\n") |> String.concat ""
-      in
-      http_response ~content_type:"application/x-ndjson; charset=utf-8" body
-  | _ -> http_response ~status:"404 Not Found" ~content_type:"text/plain; charset=utf-8" "not found\n"
+      (* Streamed, not buffered: no Content-Length — the close delimits
+         the body (HTTP/1.0 framing), and each record goes out as its
+         own write so a reader sees journal lines as they drain instead
+         of one ring-sized blob. *)
+      write_all fd
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson; charset=utf-8\r\n\
+         Connection: close\r\n\r\n";
+      List.iter (fun ev -> write_all fd (Events.line ev ^ "\n")) (Events.recent ())
+  | _ ->
+      write_all fd
+        (http_response ~status:"404 Not Found" ~content_type:"text/plain; charset=utf-8"
+           "not found\n")
 
 let handle_client fd =
   let buf = Bytes.create 2048 in
@@ -45,15 +64,7 @@ let handle_client fd =
           | None -> path)
       | _ -> "/"
     in
-    let resp = route path in
-    let rec write_all off =
-      if off < String.length resp then
-        match Unix.write_substring fd resp off (String.length resp - off) with
-        | 0 -> ()
-        | w -> write_all (off + w)
-        | exception Unix.Unix_error _ -> ()
-    in
-    write_all 0
+    respond fd path
   end
 
 let accept_loop t () =
@@ -69,7 +80,8 @@ let accept_loop t () =
   in
   loop ()
 
-let start ~port =
+let start ~port:requested =
+  let port = requested in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -85,6 +97,10 @@ let start ~port =
   in
   let t = { sock; port; stopping = Atomic.make false; dom = None } in
   t.dom <- Some (Domain.spawn (accept_loop t));
+  (* An ephemeral bind is only useful if the caller can learn the
+     resolved port; a stable stderr line lets a CI smoke job scrape it
+     without racing other jobs for a fixed port. *)
+  if requested = 0 then Printf.eprintf "obs-serve-port: %d\n%!" port;
   Events.emit ~kv:[ ("port", string_of_int port) ] Events.Info "serve";
   t
 

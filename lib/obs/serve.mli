@@ -3,16 +3,20 @@
     inspected {e while} a run is in progress ([--obs-serve PORT]).
 
     Routes: [/metrics] (Prometheus text, gauges refreshed per scrape),
-    [/healthz] ([ok]), and [/events] (the journal's in-memory ring as
-    JSON lines). Anything else is 404. One request per connection;
-    requests are served sequentially. *)
+    [/healthz] ([ok]), and [/events] (the journal's in-memory ring,
+    streamed as [application/x-ndjson] — one write per record, body
+    delimited by connection close rather than Content-Length). Anything
+    else is 404. One request per connection; requests are served
+    sequentially. *)
 
 type t
 
 val start : port:int -> t
 (** Bind 127.0.0.1:[port] ([0] picks an ephemeral port, see {!port})
-    and spawn the serving domain. Raises [Unix.Unix_error] when the
-    bind fails (port taken). *)
+    and spawn the serving domain. An ephemeral request additionally
+    prints [obs-serve-port: <port>] on stderr so scripted callers can
+    scrape the resolved port. Raises [Unix.Unix_error] when the bind
+    fails (port taken). *)
 
 val port : t -> int
 (** The bound port (resolves an ephemeral request). *)

@@ -71,6 +71,39 @@ let g_events_per_sec =
 
 let g_events_total = Obs.gauge ~help:"store events processed since start" "telemetry.events_total"
 
+(* ------------------------------------------------------------------ *)
+(* Epoch-close latency SLO                                             *)
+(* ------------------------------------------------------------------ *)
+
+let h_epoch_close_ns =
+  Obs.histogram ~unit_:"ns" ~help:"Wall time the analyzer spent handling each epoch close"
+    "analyzer.epoch_close_ns"
+
+let g_slo_p99 =
+  Obs.gauge ~help:"p99 epoch-close handling latency at last sample (ms)"
+    "slo.epoch_close_p99_ms"
+
+let c_slo_burn =
+  Obs.counter ~help:"Epoch closes slower than the RMA_SLO_EPOCH_CLOSE_MS threshold"
+    "slo.epoch_close_burn_total"
+
+let default_slo_ms = 100.0
+
+let slo_threshold_ms =
+  ref
+    (match Option.bind (Sys.getenv_opt "RMA_SLO_EPOCH_CLOSE_MS") float_of_string_opt with
+    | Some ms when ms > 0.0 -> ms
+    | _ -> default_slo_ms)
+
+let set_slo_epoch_close_ms ms = if ms > 0.0 then slo_threshold_ms := ms
+let slo_epoch_close_ms () = !slo_threshold_ms
+
+let note_epoch_close seconds =
+  if Obs.is_enabled () then begin
+    Obs.observe h_epoch_close_ns (seconds *. 1e9);
+    if seconds *. 1000.0 > !slo_threshold_ms then Obs.incr c_slo_burn
+  end
+
 (* Last-sample state for the rate gauge; sampled from the main domain
    and from the telemetry server's domain, hence the mutex. *)
 let sample_mu = Mutex.create ()
@@ -87,6 +120,8 @@ let sample () =
     Obs.set_gauge g_live_words (float_of_int st.Gc.live_words);
     Obs.set_gauge g_peak_rss (float_of_int (peak_rss_bytes ()));
     Obs.set_gauge g_events_total (float_of_int total);
+    if Histogram.count h_epoch_close_ns > 0 then
+      Obs.set_gauge g_slo_p99 (Histogram.quantile h_epoch_close_ns 0.99 /. 1e6);
     Mutex.lock sample_mu;
     let dt = now -. !last_t and de = total - !last_events in
     if !last_t > 0.0 && dt > 1e-6 then Obs.set_gauge g_events_per_sec (float_of_int de /. dt);

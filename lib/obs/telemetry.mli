@@ -24,8 +24,31 @@ val peak_rss_bytes : unit -> int
 
 val sample : unit -> unit
 (** Take one sample: refresh the GC/RSS/throughput gauges
-    ([telemetry.*]). The events/sec gauge covers the window since the
-    previous sample. No-op when {!Obs} is disabled. *)
+    ([telemetry.*]) and the [slo.epoch_close_p99_ms] gauge. The
+    events/sec gauge covers the window since the previous sample. No-op
+    when {!Obs} is disabled. *)
+
+(** {1 Epoch-close latency SLO}
+
+    The analyzer times its handling of every epoch-close event and
+    reports it here; the p99 lands on [/metrics] as the
+    [slo.epoch_close_p99_ms] gauge (refreshed by {!sample}), and each
+    close slower than the threshold increments the
+    [slo.epoch_close_burn_total] burn counter — the pair a scrape-based
+    alert needs (current level + budget burn). *)
+
+val note_epoch_close : float -> unit
+(** Record one epoch-close handling duration (seconds). Feeds the
+    [analyzer.epoch_close_ns] histogram; increments the burn counter
+    when the duration exceeds the threshold. No-op when {!Obs} is
+    disabled. *)
+
+val slo_epoch_close_ms : unit -> float
+(** The burn threshold in milliseconds (default 100, or
+    [RMA_SLO_EPOCH_CLOSE_MS] from the environment at startup). *)
+
+val set_slo_epoch_close_ms : float -> unit
+(** Override the threshold; non-positive values are ignored. *)
 
 val reset_rate : unit -> unit
 (** Forget the rate window (next {!sample} only primes it). *)

@@ -29,6 +29,19 @@ let obs_queue_overflows =
   Obs.counter ~help:"Injected queue overflows degraded to inline execution"
     "par.queue_overflows"
 
+let obs_critical_path_ms =
+  Obs.gauge
+    ~help:"Accumulated critical path: per-barrier longest shard chain plus barrier overhead (ms)"
+    "par.critical_path_ms"
+
+(* Process-wide critical-path accumulator (caller thread only, like the
+   engines themselves): the harness reads deltas of this around a
+   workload so attribution works even when the workload creates its
+   engines internally. *)
+let critical_total = ref 0.0
+let critical_path_total () = !critical_total
+let reset_critical_path_total () = critical_total := 0.0
+
 (* The pool is deliberately small: the analyzer's shards are coarse
    (whole interval trees), and the OCaml runtime caps live domains, so a
    process must never spawn domains per engine. *)
@@ -146,6 +159,10 @@ type t = {
          spans of the following inter-barrier window bind to it, which
          is what draws barrier→shard arrows in the Chrome trace. 0
          until the first barrier. *)
+  mutable critical_seconds : float;
+      (* Caller-thread only: sum over this engine's barriers of the
+         longest shard busy window plus the barrier overhead after it
+         (see DESIGN.md §13). *)
 }
 
 let create ?jobs ?(queue_capacity = 1024) () =
@@ -173,6 +190,7 @@ let create ?jobs ?(queue_capacity = 1024) () =
     fallbacks = 0;
     overflows = 0;
     sched_trace = 0;
+    critical_seconds = 0.0;
   }
 
 let jobs t = t.n_jobs
@@ -248,13 +266,18 @@ let crash_shard t ~shard sh f =
   t.crashes <- t.crashes + 1;
   Obs.incr obs_worker_crashes;
   (* The ordinal that produced this crash is the one the fire call just
-     consumed; with the plan seed it replays the fault exactly. *)
+     consumed; with the plan seed — journaled alongside it — the
+     coordinates replay the fault exactly ([rma_race obs replay]). *)
+  let seed =
+    match Rma_fault.plan () with Some p -> p.Rma_fault.Plan.seed | None -> 0
+  in
   Events.emit ~shard
     ~kv:
       [
         ("event", "worker_crash");
         ("site", Rma_fault.site_name Rma_fault.Worker_crash);
         ("ordinal", string_of_int (Rma_fault.ordinal Rma_fault.Worker_crash - 1));
+        ("seed", string_of_int seed);
       ]
     Events.Warn "par";
   Queue.push f sh.journal
@@ -356,15 +379,14 @@ let has_crashed t = Array.exists (fun sh -> sh.crashed) t.shards
 let emit_shard_windows t =
   Array.iteri
     (fun shard sh ->
-      if sh.win_t0 > 0.0 then begin
+      if sh.win_t0 > 0.0 then
         Obs.emit_span ~cat:"shard" ~parent_id:t.sched_trace
           ~args:[ ("shard", string_of_int shard) ]
           ~pid:Obs.wall_pid ~tid:(shard + 1) ~t0:(Obs.rel_time sh.win_t0)
-          ~t1:(Obs.rel_time sh.win_t1) "shard work";
-        sh.win_t0 <- 0.0;
-        sh.win_t1 <- 0.0
-      end)
+          ~t1:(Obs.rel_time sh.win_t1) "shard work")
     t.shards
+
+let ms seconds = Printf.sprintf "%.3f" (seconds *. 1000.0)
 
 let barrier t =
   let t0 = Rma_util.Timer.now () in
@@ -374,19 +396,65 @@ let barrier t =
   let err = t.failure in
   t.failure <- None;
   Mutex.unlock t.mu;
+  let t1 = Rma_util.Timer.now () in
+  (* Critical path of the inter-barrier window that just closed: the
+     longest shard busy window — the chain a perfectly parallel epoch
+     cannot beat — plus the overhead between the last shard finishing
+     and the barrier completing (drain wakeups, recovery, replay). With
+     no shard windows the whole barrier wait is overhead. Accrued
+     whether or not Obs is on, so the bench attributes the speedup
+     ceiling without paying for tracing. *)
+  let longest = ref 0.0 and last_end = ref 0.0 in
+  Array.iter
+    (fun sh ->
+      if sh.win_t0 > 0.0 then begin
+        let d = sh.win_t1 -. sh.win_t0 in
+        if d > !longest then longest := d;
+        if sh.win_t1 > !last_end then last_end := sh.win_t1
+      end)
+    t.shards;
+  let overhead =
+    if !last_end > 0.0 then Float.max 0.0 (t1 -. !last_end) else Float.max 0.0 (t1 -. t0)
+  in
+  let chain = !longest +. overhead in
+  t.critical_seconds <- t.critical_seconds +. chain;
+  critical_total := !critical_total +. chain;
   if Obs.is_enabled () then begin
     Obs.incr obs_barriers;
-    let t1 = Rma_util.Timer.now () in
     Obs.observe obs_barrier_wait_ns ((t1 -. t0) *. 1e9);
+    Obs.set_gauge obs_critical_path_ms (!critical_total *. 1000.0);
     emit_shard_windows t;
     (* The barrier span originates the causal flow that the next
        window's shard spans will bind to. *)
     let trace = Obs.fresh_id () in
-    Obs.emit_span ~cat:"barrier" ~trace_id:trace ~pid:Obs.wall_pid ~tid:0
-      ~t0:(Obs.rel_time t0) ~t1:(Obs.rel_time t1) "epoch barrier";
-    t.sched_trace <- trace
+    Obs.emit_span ~cat:"barrier" ~trace_id:trace
+      ~args:[ ("critical_path_ms", ms chain) ]
+      ~pid:Obs.wall_pid ~tid:0 ~t0:(Obs.rel_time t0) ~t1:(Obs.rel_time t1) "epoch barrier";
+    t.sched_trace <- trace;
+    (* Debug, not Info: the values are wall-clock and would churn the
+       golden journal, and per-barrier records are only post-mortem
+       material ([obs stats] sums critical_path_ms from them). *)
+    Events.emit
+      ~kv:
+        [
+          ("event", "barrier");
+          ("critical_path_ms", ms chain);
+          ("longest_ms", ms !longest);
+          ("overhead_ms", ms overhead);
+          ("wait_ms", ms (t1 -. t0));
+          ("flow", string_of_int trace);
+        ]
+      Events.Debug "par"
   end;
+  Array.iter
+    (fun sh ->
+      sh.win_t0 <- 0.0;
+      sh.win_t1 <- 0.0)
+    t.shards;
   match err with Some e -> raise e | None -> ()
+
+let critical_path_seconds t = t.critical_seconds
+let current_flow_id t = t.sched_trace
 
 let recovery_stats t =
   { crashes = t.crashes; recoveries = t.recoveries; fallbacks = t.fallbacks; overflows = t.overflows }

@@ -115,6 +115,27 @@ val recovery_stats : t -> recovery_stats
 (** Cumulative fault-recovery counters for this engine (caller
     thread); all zero when no fault plan ever fired. *)
 
+val critical_path_seconds : t -> float
+(** Accumulated critical path of this engine's epochs: at each
+    {!barrier}, the longest single-shard busy window of the closing
+    inter-barrier interval plus the barrier overhead after it (drain
+    wakeups, crash recovery, journal replay) — the chain a perfectly
+    parallel epoch cannot beat (DESIGN.md §13). Accrued whether or not
+    {!Rma_obs.Obs} is enabled; caller thread. *)
+
+val critical_path_total : unit -> float
+(** Process-wide sum of {!critical_path_seconds} across every engine —
+    the harness reads deltas of this around a workload so attribution
+    works even when the workload creates its engines internally. *)
+
+val reset_critical_path_total : unit -> unit
+
+val current_flow_id : t -> int
+(** The causal-flow id minted by this engine's latest barrier span — the
+    id the next window's ["shard work"] spans bind to; 0 before the
+    first barrier. Exposed so external attribution (the [obs stats]
+    critical-path walk) can join journal events to the trace flow. *)
+
 val take_work_seconds : t -> float
 (** Critical-path cost model: the maximum over shards of wall-clock
     seconds spent running this engine's tasks since the previous take,

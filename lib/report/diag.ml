@@ -51,7 +51,7 @@ let usage_error ~prog what spec msg =
    snapshot at tool creation (flight recorder, batching default, shard
    count, fault plan, budget) must be applied before [f] runs, which is
    why all the knobs live here and not in the exporters. *)
-let with_diag ?(prog = "rma_race") ?(generator = "rma_race") opts f =
+let with_diag ?(prog = "rma_race") ?(generator = "rma_race") ?workload opts f =
   let active = wants_obs opts in
   if active then begin
     Obs.enable ();
@@ -81,6 +81,27 @@ let with_diag ?(prog = "rma_race") ?(generator = "rma_race") opts f =
       | Ok budget -> Rma_fault.Budget.set_default (Some budget)
       | Error msg -> usage_error ~prog "--budget" spec msg)
     opts.budget;
+  (* Every knob is applied: journal the run's identity. The record is
+     what [rma_race obs replay] reconstructs the run from — workload
+     name and parameters, effective shard count, and the fault plan and
+     budget re-serialised in canonical spec form (so the journal, not
+     the command line, is the source of truth for the seed). *)
+  (match workload with
+  | Some (name, params) ->
+      let kv =
+        [ ("event", "run_start"); ("workload", name) ]
+        @ params
+        @ [ ("jobs", string_of_int (Rma_par.default_jobs ())) ]
+        @ (match Rma_fault.plan () with
+          | Some p -> [ ("fault", Rma_fault.Plan.to_spec p) ]
+          | None -> [])
+        @
+        match Rma_fault.Budget.default () with
+        | Some b -> [ ("budget", Rma_fault.Budget.to_spec b) ]
+        | None -> []
+      in
+      Events.emit ~kv Events.Info "diag"
+  | None -> ());
   let server =
     Option.map
       (fun port ->
@@ -108,21 +129,40 @@ let with_diag ?(prog = "rma_race") ?(generator = "rma_race") opts f =
       if opts.obs_summary then print_string (Rma_obs.Summary.to_string ())
     end
   in
-  let reports = Fun.protect ~finally:obs_export f in
-  (* Ids are per tool run; a subcommand aggregating several runs (suite)
+  (* The run id exported with the races must be the journal's, and the
+     run_summary record must land before the finally closes the sink —
+     hence both live inside the protected thunk, after renumbering.
+     Ids are per tool run; a subcommand aggregating several runs (suite)
      would export duplicates, so renumber to the export's own 1..n —
      identity for single-run subcommands, whose stored reports are
      already sequential. *)
-  let reports =
+  let renumber reports =
     List.mapi
       (fun i r ->
         let module Report = Rma_analysis.Report in
         { r with Report.provenance = { r.Report.provenance with Report.id = i + 1 } })
       reports
   in
+  let run_id = if active then Some (Events.run_id ()) else None in
+  let finished = ref None in
+  Fun.protect ~finally:obs_export (fun () ->
+      let reports = renumber (f ()) in
+      (* The journal's verdict record: what [obs replay] compares a
+         re-run against. A thunk that raises leaves no run_summary —
+         exactly right, the original run has no verdict either. *)
+      Events.emit
+        ~kv:
+          [
+            ("event", "run_summary");
+            ("races", string_of_int (List.length reports));
+            ("digest", Race_export.verdict_digest reports);
+          ]
+        Events.Info "diag";
+      finished := Some reports);
+  let reports = match !finished with Some r -> r | None -> [] in
   let write_races what write path =
     try
-      write ~path ~generator reports;
+      write ~path ?run_id ~generator reports;
       Printf.eprintf "races: wrote %s (%d reports) to %s\n%!" what (List.length reports) path
     with Sys_error msg -> Printf.eprintf "races: cannot write %s: %s\n%!" what msg
   in

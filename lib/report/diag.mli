@@ -44,6 +44,7 @@ val wants_obs : opts -> bool
 val with_diag :
   ?prog:string ->
   ?generator:string ->
+  ?workload:string * (string * string) list ->
   opts ->
   (unit -> Rma_analysis.Report.t list) ->
   unit
@@ -52,4 +53,14 @@ val with_diag :
     124 on a bad spec); [generator] is stamped into race exports.
     [RMA_OBS_EVENTS] / [RMA_OBS_LEVEL] are applied first, explicit
     options override them. Report ids are renumbered 1..n before
-    export. *)
+    export; when observability is on, the journal's run id is threaded
+    into the race JSON/SARIF headers.
+
+    [workload] names the run for the journal: a [run_start] record
+    (component ["diag"]) carries the workload name, its parameters, the
+    effective shard count and the canonical fault-plan/budget specs, and
+    a [run_summary] record carries the race count and
+    {!Race_export.verdict_digest} — together the coordinates
+    [rma_race obs replay] needs to re-run the drill deterministically
+    and check the verdicts match. Omit it for aggregate subcommands
+    (suite, experiments) that are not a single replayable run. *)

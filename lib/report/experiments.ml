@@ -475,6 +475,7 @@ type par_row = {
   p_races : int;
   p_nodes : int;
   p_speedup : float;
+  p_critical_path : float;
 }
 
 let par ?(scale = 0.02) ?(nprocs = 8) ?(jobs = [ 1; 2; 4 ]) () =
@@ -528,6 +529,7 @@ let par ?(scale = 0.02) ?(nprocs = 8) ?(jobs = [ 1; 2; 4 ]) () =
           p_races = m.Harness.races;
           p_nodes = m.Harness.nodes_final;
           p_speedup = (if m.Harness.epoch_time_mean > 0.0 then base_epoch /. m.Harness.epoch_time_mean else 1.0);
+          p_critical_path = m.Harness.critical_path_seconds;
         })
       measures
   in
@@ -542,7 +544,7 @@ let par ?(scale = 0.02) ?(nprocs = 8) ?(jobs = [ 1; 2; 4 ]) () =
       ~columns:
         [ ("Jobs", Table.Right); ("Epoch time (s)", Table.Right); ("Exec time (ms)", Table.Right);
           ("Speedup", Table.Right); ("Reports", Table.Right); ("BST nodes", Table.Right);
-          ("Wall (s)", Table.Right) ]
+          ("Wall (s)", Table.Right); ("Crit path (ms)", Table.Right) ]
       ()
   in
   List.iter
@@ -553,6 +555,7 @@ let par ?(scale = 0.02) ?(nprocs = 8) ?(jobs = [ 1; 2; 4 ]) () =
           Table.cell_float ~decimals:1 (r.p_exec_time *. 1000.0);
           Printf.sprintf "%.2fx" r.p_speedup; string_of_int r.p_races; string_of_int r.p_nodes;
           Table.cell_float ~decimals:2 r.p_wall;
+          Table.cell_float ~decimals:3 (r.p_critical_path *. 1000.0);
         ])
     rows;
   (rows, Table.render t)
@@ -693,13 +696,15 @@ let export ~dir ?scale ?ranks experiments =
       | "par" ->
           let rows, _ = par ?scale () in
           Csv.write ~path:(path "par")
-            ~header:[ "jobs"; "epoch_time_s"; "exec_time_s"; "speedup"; "reports"; "nodes"; "wall_s" ]
+            ~header:
+              [ "jobs"; "epoch_time_s"; "exec_time_s"; "speedup"; "reports"; "nodes"; "wall_s";
+                "critical_path_s" ]
             (List.map
                (fun (r : par_row) ->
                  [ string_of_int r.p_jobs; Printf.sprintf "%.6f" r.p_epoch_time;
                    Printf.sprintf "%.6f" r.p_exec_time; Printf.sprintf "%.3f" r.p_speedup;
                    string_of_int r.p_races; string_of_int r.p_nodes;
-                   Printf.sprintf "%.6f" r.p_wall ])
+                   Printf.sprintf "%.6f" r.p_wall; Printf.sprintf "%.6f" r.p_critical_path ])
                rows)
       | "ablation" ->
           let rows, _ = ablation () in

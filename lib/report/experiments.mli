@@ -87,6 +87,11 @@ type par_row = {
   p_races : int;
   p_nodes : int;
   p_speedup : float;  (** Epoch-time speedup relative to the first jobs value. *)
+  p_critical_path : float;
+      (** Wall seconds of accumulated {!Rma_par} critical path — the
+          longest shard chain plus barrier overhead per epoch
+          (DESIGN.md §13). The number that explains the speedup ceiling:
+          overhead-dominated epochs cannot parallelise. *)
 }
 
 val par : ?scale:float -> ?nprocs:int -> ?jobs:int list -> unit -> par_row list * string

@@ -33,6 +33,7 @@ type metrics = {
   fragments : int;
   merges : int;
   accesses : int;
+  critical_path_seconds : float;
 }
 
 let measure ~nprocs ?(config = Mpi_sim.Config.default) ?(jobs = 1) ~workload kind =
@@ -47,6 +48,10 @@ let measure ~nprocs ?(config = Mpi_sim.Config.default) ?(jobs = 1) ~workload kin
   in
   let tool = make_tool ~jobs kind ~nprocs ~config in
   let observer = match kind with Baseline -> None | _ -> Some tool.Tool.observer in
+  (* Critical path by delta of the process-wide accumulator: the tool
+     creates its engines internally, so this is the only seam that sees
+     them all. *)
+  let crit0 = Rma_par.critical_path_total () in
   (* The measurement IS the span: the wall time reported in tables and
      the one exported to the Chrome trace come from the same
      Obs.time_span reading, so they cannot disagree. *)
@@ -78,4 +83,5 @@ let measure ~nprocs ?(config = Mpi_sim.Config.default) ?(jobs = 1) ~workload kin
     fragments = b.Tool.fragments_total;
     merges = b.Tool.merges_total;
     accesses = result.Mpi_sim.Runtime.accesses_emitted;
+    critical_path_seconds = Rma_par.critical_path_total () -. crit0;
   }

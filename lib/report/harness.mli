@@ -47,6 +47,10 @@ type metrics = {
   fragments : int;
   merges : int;
   accesses : int;  (** Instrumented accesses emitted by the run. *)
+  critical_path_seconds : float;
+      (** Accumulated {!Rma_par} critical path over the run (longest
+          shard chain + barrier overhead per epoch, DESIGN.md §13);
+          0 for sequential tools. *)
 }
 
 val measure :

@@ -8,10 +8,15 @@ type sample = {
   wall_seconds : float;
   peak_rss_bytes : float;
       (* Process high-water RSS observed by the end of the experiment
-         (monotone across a bench run). Informational in comparisons. *)
+         (monotone across a bench run). Gated, looser threshold than
+         wall time; skipped when the baseline predates the field. *)
   events_per_sec : float;
       (* Store events processed / wall seconds for this experiment.
-         Informational in comparisons. *)
+         Gated as higher-is-better, same skip rule. *)
+  critical_path_ms : float;
+      (* Accumulated parallel-engine critical path during the
+         experiment (Rma_par, DESIGN.md §13). Informational: the number
+         that explains a speedup ceiling, not a gate. *)
   metrics : (string * float) list;
 }
 
@@ -44,6 +49,7 @@ let json_of_sample s =
       ("wall_seconds", Json.Float s.wall_seconds);
       ("peak_rss_bytes", Json.Float s.peak_rss_bytes);
       ("events_per_sec", Json.Float s.events_per_sec);
+      ("critical_path_ms", Json.Float s.critical_path_ms);
       ("metrics", Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.metrics));
     ]
 
@@ -81,6 +87,7 @@ let sample_of_json j =
      (still schema 1): default 0.0, and comparisons skip zeros. *)
   let peak_rss_bytes = optional_float "peak_rss_bytes" j in
   let events_per_sec = optional_float "events_per_sec" j in
+  let critical_path_ms = optional_float "critical_path_ms" j in
   let* metrics_obj = field "metrics" Json.to_obj j in
   let* metrics =
     map_result
@@ -90,7 +97,7 @@ let sample_of_json j =
         | None -> Error (Printf.sprintf "ill-typed metric %S" k))
       metrics_obj
   in
-  Ok { name; wall_seconds; peak_rss_bytes; events_per_sec; metrics }
+  Ok { name; wall_seconds; peak_rss_bytes; events_per_sec; critical_path_ms; metrics }
 
 let of_json j =
   let* version = field "schema_version" Json.to_int j in
@@ -160,22 +167,46 @@ let delta_of ~threshold ~sample_name ~metric ~old_value ~new_value =
   in
   { sample_name; metric; old_value; new_value; ratio; regression }
 
-(* The telemetry fields are informational this cycle: they appear in the
-   comparison table when they move, but never gate. Skipped entirely
-   when the baseline predates them (old value 0). *)
-let info_deltas old_s new_s =
-  List.filter_map
-    (fun (metric, old_value, new_value) ->
-      if old_value <= 0.0 then None
-      else
-        let d = delta_of ~threshold:Float.infinity ~sample_name:old_s.name ~metric ~old_value ~new_value in
-        Some { d with regression = false })
+let env_threshold name default =
+  match Option.bind (Sys.getenv_opt name) float_of_string_opt with
+  | Some v when v > 0.0 -> v
+  | _ -> default
+
+let default_rss_threshold () = env_threshold "RMA_BENCH_RSS_THRESHOLD" 1.0
+let default_eps_threshold () = env_threshold "RMA_BENCH_EPS_THRESHOLD" 0.5
+
+(* The telemetry fields gate with their own, looser thresholds: RSS and
+   throughput are an order noisier than wall time at CI scale, so they
+   get +100% / -50% defaults rather than wall time's +50%. Peak RSS
+   regresses upward; events/sec regresses downward (higher is better) —
+   the one metric where [lower_is_better] gets the direction wrong, so
+   the regression test is spelled out here. [critical_path_ms] stays
+   informational: it is a steering signal (which shard chain to shorten)
+   rather than a promise. Each is skipped when the baseline predates the
+   field (old value 0). *)
+let telemetry_deltas ~rss_threshold ~eps_threshold old_s new_s =
+  let mk metric old_value new_value regression =
+    if old_value <= 0.0 then None
+    else
+      let ratio = new_value /. old_value in
+      Some { sample_name = old_s.name; metric; old_value; new_value; ratio; regression }
+  in
+  List.filter_map Fun.id
     [
-      ("peak_rss_bytes", old_s.peak_rss_bytes, new_s.peak_rss_bytes);
-      ("events_per_sec", old_s.events_per_sec, new_s.events_per_sec);
+      mk "peak_rss_bytes" old_s.peak_rss_bytes new_s.peak_rss_bytes
+        (new_s.peak_rss_bytes -. old_s.peak_rss_bytes > rss_threshold *. old_s.peak_rss_bytes);
+      mk "events_per_sec" old_s.events_per_sec new_s.events_per_sec
+        (old_s.events_per_sec -. new_s.events_per_sec > eps_threshold *. old_s.events_per_sec);
+      mk "critical_path_ms" old_s.critical_path_ms new_s.critical_path_ms false;
     ]
 
-let compare_records ?(threshold = 0.5) old_r new_r =
+let compare_records ?(threshold = 0.5) ?rss_threshold ?eps_threshold old_r new_r =
+  let rss_threshold =
+    match rss_threshold with Some t -> t | None -> default_rss_threshold ()
+  in
+  let eps_threshold =
+    match eps_threshold with Some t -> t | None -> default_eps_threshold ()
+  in
   List.concat_map
     (fun old_s ->
       match List.find_opt (fun s -> String.equal s.name old_s.name) new_r.samples with
@@ -183,7 +214,7 @@ let compare_records ?(threshold = 0.5) old_r new_r =
       | Some new_s ->
           delta_of ~threshold ~sample_name:old_s.name ~metric:"wall_seconds"
             ~old_value:old_s.wall_seconds ~new_value:new_s.wall_seconds
-          :: info_deltas old_s new_s
+          :: telemetry_deltas ~rss_threshold ~eps_threshold old_s new_s
           @ List.filter_map
                (fun (metric, old_value) ->
                  match List.assoc_opt metric new_s.metrics with
@@ -209,8 +240,9 @@ let missing_from_candidate ~old_record ~new_record =
       else Some s.name)
     old_record.samples
 
-let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
-  let deltas = compare_records ~threshold old_record new_record in
+let render_comparison ?(threshold = 0.5) ?rss_threshold ?eps_threshold ~old_record ~new_record ()
+    =
+  let deltas = compare_records ~threshold ?rss_threshold ?eps_threshold old_record new_record in
   let module Table = Rma_util.Text_table in
   let t =
     Table.create
@@ -268,8 +300,8 @@ let render_comparison ?(threshold = 0.5) ~old_record ~new_record () =
       Printf.sprintf "OK: %d metrics compared, %d changed beyond 2%%, no regressions past +%.0f%%"
         (List.length deltas) (List.length shown) (100.0 *. threshold)
     else
-      Printf.sprintf "REGRESSIONS: %d of %d metrics grew past +%.0f%%" (List.length regs)
-        (List.length deltas) (100.0 *. threshold)
+      Printf.sprintf "REGRESSIONS: %d of %d metrics regressed past threshold" (List.length regs)
+        (List.length deltas)
   in
   let body = if shown = [] then summary ^ "\n" else Table.render t ^ summary ^ "\n" in
   (body, regs <> [] || missing <> [] || lost <> [])

@@ -15,11 +15,20 @@ type sample = {
   peak_rss_bytes : float;
       (** Process peak RSS by the end of the experiment
           ({!Rma_obs.Telemetry.peak_rss_bytes}; monotone across a bench
-          run). Informational in comparisons — never gates. 0.0 in
-          records written before the field existed. *)
+          run). Gated in comparisons with its own, looser threshold
+          (default +100%, [RMA_BENCH_RSS_THRESHOLD] / [--rss-threshold]
+          override). 0.0 in records written before the field existed —
+          comparisons skip zeros. *)
   events_per_sec : float;
       (** Store events processed per wall second during the experiment.
-          Informational in comparisons — never gates. *)
+          Gated as {e higher}-is-better: a drop past the threshold
+          (default -50%, [RMA_BENCH_EPS_THRESHOLD] / [--events-threshold]
+          override) regresses. Zeros skipped as above. *)
+  critical_path_ms : float;
+      (** Accumulated parallel-engine critical path over the experiment
+          ({!Rma_par.critical_path_total} delta; DESIGN.md §13).
+          Informational — the number that explains a speedup ceiling,
+          not a gate. *)
   metrics : (string * float) list;  (** Flat, insertion-ordered. *)
 }
 
@@ -64,13 +73,27 @@ val lower_is_better : string -> bool
     "...ns...", "...nodes...", "...dropped...") regress upward; anything
     else is reported as change only. *)
 
-val compare_records : ?threshold:float -> record -> record -> delta list
+val default_rss_threshold : unit -> float
+(** 1.0 (= +100%) unless [RMA_BENCH_RSS_THRESHOLD] overrides it. *)
+
+val default_eps_threshold : unit -> float
+(** 0.5 (= -50%) unless [RMA_BENCH_EPS_THRESHOLD] overrides it. *)
+
+val compare_records :
+  ?threshold:float -> ?rss_threshold:float -> ?eps_threshold:float -> record -> record ->
+  delta list
 (** All metric pairs present in both records, in the old record's order.
     [threshold] is the tolerated relative growth of lower-is-better
     metrics before a delta counts as a regression (default 0.5 = +50%),
     with an absolute floor: sub-millisecond wall times never regress
-    (pure scheduling noise). Identical records yield only
-    [ratio = 1.0, regression = false] deltas. *)
+    (pure scheduling noise). The telemetry fields gate separately:
+    [rss_threshold] bounds [peak_rss_bytes] growth (default
+    {!default_rss_threshold}) and [eps_threshold] bounds
+    [events_per_sec] {e shrinkage} (default {!default_eps_threshold});
+    both skip samples whose baseline value is 0 (records predating the
+    fields). [critical_path_ms] is compared but never regresses.
+    Identical records yield only [ratio = 1.0, regression = false]
+    deltas. *)
 
 val regressions : delta list -> delta list
 
@@ -85,7 +108,9 @@ val missing_from_candidate : old_record:record -> new_record:record -> string li
     deselected, renamed, or crashed out), so its metrics would silently
     stop being tracked. *)
 
-val render_comparison : ?threshold:float -> old_record:record -> new_record:record -> unit -> string * bool
+val render_comparison :
+  ?threshold:float -> ?rss_threshold:float -> ?eps_threshold:float -> old_record:record ->
+  new_record:record -> unit -> string * bool
 (** Human-readable per-metric table plus a verdict line; the boolean is
     [true] when at least one regression fired {e or} either record lacks
     an experiment the other has ({!missing_from_baseline} /

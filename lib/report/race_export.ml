@@ -3,7 +3,10 @@ open Rma_analysis
 module Json = Rma_util.Json
 module Flight_recorder = Rma_store.Flight_recorder
 
-let schema_version = 1
+(* v2 added the optional [run_id] header cross-linking a verdict file to
+   the event journal of the run that produced it; v1 files still load. *)
+let schema_version = 2
+let min_schema_version = 1
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding                                                       *)
@@ -56,14 +59,15 @@ let json_of_report (r : Report.t) =
       ("degraded", Json.Bool p.Report.degraded);
     ]
 
-let to_json ~generator reports =
+let to_json ?run_id ~generator reports =
   Json.Obj
-    [
-      ("schema_version", Json.Int schema_version);
-      ("generator", Json.String generator);
-      ("race_count", Json.Int (List.length reports));
-      ("races", Json.List (List.map json_of_report reports));
-    ]
+    (("schema_version", Json.Int schema_version)
+     :: ("generator", Json.String generator)
+     :: (match run_id with Some r -> [ ("run_id", Json.String r) ] | None -> [])
+    @ [
+        ("race_count", Json.Int (List.length reports));
+        ("races", Json.List (List.map json_of_report reports));
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* JSON decoding                                                       *)
@@ -164,19 +168,33 @@ let report_of_json j =
   let provenance = { Report.id; epoch; vclock; existing_history; incoming_history; degraded } in
   Ok (Report.make ~tool ~space ~win ~existing ~incoming ~sim_time ~provenance ())
 
-let of_json j =
+let of_json_with_run_id j =
   let* version = field "schema_version" Json.to_int j in
-  if version <> schema_version then
-    Error (Printf.sprintf "unsupported race schema version %d (expected %d)" version schema_version)
+  if version < min_schema_version || version > schema_version then
+    Error
+      (Printf.sprintf "unsupported race schema version %d (expected %d..%d)" version
+         min_schema_version schema_version)
   else
+    (* v1 files have no run_id; in v2 it is still optional (a run
+       without --obs never had one). *)
+    let run_id = Option.bind (Json.member "run_id" j) Json.to_str in
     let* races = field "races" Json.to_list j in
-    map_result report_of_json races
+    let* reports = map_result report_of_json races in
+    Ok (reports, run_id)
 
-let write_json ~path ~generator reports = Json.write ~path (to_json ~generator reports)
+let of_json j =
+  let* reports, _run_id = of_json_with_run_id j in
+  Ok reports
+
+let write_json ~path ?run_id ~generator reports = Json.write ~path (to_json ?run_id ~generator reports)
+
+let load_json_with_run_id ~path =
+  let* j = Json.load ~path in
+  of_json_with_run_id j
 
 let load_json ~path =
-  let* j = Json.load ~path in
-  of_json j
+  let* reports, _run_id = load_json_with_run_id ~path in
+  Ok reports
 
 (* ------------------------------------------------------------------ *)
 (* SARIF 2.1.0                                                         *)
@@ -279,7 +297,7 @@ let sarif_result (r : Report.t) =
       ("properties", Json.Obj properties);
     ]
 
-let to_sarif ~generator reports =
+let to_sarif ?run_id ~generator reports =
   let driver =
     Json.Obj
       [
@@ -317,16 +335,39 @@ let to_sarif ~generator reports =
         Json.List
           [
             Json.Obj
-              [
-                ("tool", Json.Obj [ ("driver", driver) ]);
-                ( "automationDetails",
-                  Json.Obj [ ("id", Json.String generator) ] );
-                ("results", Json.List (List.map sarif_result reports));
-              ];
+              ([
+                 ("tool", Json.Obj [ ("driver", driver) ]);
+                 ( "automationDetails",
+                   Json.Obj [ ("id", Json.String generator) ] );
+                 ("results", Json.List (List.map sarif_result reports));
+               ]
+              @
+              (* Run-level property bag, not per-result: one journal
+                 covers every race of the run. Absent when the run had
+                 no journal, which keeps pre-PR7 golden files stable. *)
+              match run_id with
+              | Some r -> [ ("properties", Json.Obj [ ("runId", Json.String r) ]) ]
+              | None -> []);
           ] );
     ]
 
-let write_sarif ~path ~generator reports = Json.write ~path (to_sarif ~generator reports)
+let write_sarif ~path ?run_id ~generator reports =
+  Json.write ~path (to_sarif ?run_id ~generator reports)
+
+(* ------------------------------------------------------------------ *)
+(* Verdict digest                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The replay contract is byte-identical *verdicts*, not byte-identical
+   files (ids are renumbered per export, sim times embed config): the
+   digest covers each race's rendered message — tool, matrix cell, both
+   accesses with debug info — in stored order. *)
+let verdict_digest reports =
+  reports
+  |> List.map (fun (r : Report.t) -> Report.to_message r)
+  |> String.concat "\n"
+  |> Digest.string
+  |> Digest.to_hex
 
 (* ------------------------------------------------------------------ *)
 (* Explain                                                             *)

@@ -11,33 +11,57 @@ open Rma_analysis
     involved. *)
 
 val schema_version : int
-(** Version stamp of the JSON race format (1). *)
+(** Version stamp of the JSON race format (2: v1 plus an optional
+    [run_id] header cross-linking the verdict file to the event journal
+    of the run that produced it). *)
+
+val min_schema_version : int
+(** Oldest version {!of_json} still loads (1). *)
 
 (** {1 JSON} *)
 
-val to_json : generator:string -> Report.t list -> Rma_util.Json.t
+val to_json : ?run_id:string -> generator:string -> Report.t list -> Rma_util.Json.t
 (** [generator] names the producing command (goes into the header next
-    to the schema version). *)
+    to the schema version). [run_id] is the {!Rma_obs.Events.run_id} of
+    the producing run; omitted (e.g. pre-PR7 callers, runs without
+    diagnostics) the header simply lacks the field. *)
 
 val of_json : Rma_util.Json.t -> (Report.t list, string) result
 (** Inverse of {!to_json}: rejects unknown schema versions and malformed
-    reports. [to_json] followed by [of_json] is the identity on every
-    field the format carries. *)
+    reports; accepts every version from {!min_schema_version} up.
+    [to_json] followed by [of_json] is the identity on every field the
+    format carries. *)
 
-val write_json : path:string -> generator:string -> Report.t list -> unit
+val of_json_with_run_id : Rma_util.Json.t -> (Report.t list * string option, string) result
+(** Like {!of_json}, also surfacing the header's [run_id] when present
+    (always [None] for v1 files). *)
+
+val write_json : path:string -> ?run_id:string -> generator:string -> Report.t list -> unit
 
 val load_json : path:string -> (Report.t list, string) result
 
+val load_json_with_run_id : path:string -> (Report.t list * string option, string) result
+
 (** {1 SARIF 2.1.0} *)
 
-val to_sarif : generator:string -> Report.t list -> Rma_util.Json.t
+val to_sarif : ?run_id:string -> generator:string -> Report.t list -> Rma_util.Json.t
 (** One run, one [mpi-rma-data-race] rule, one result per report. The
     result's primary location is the incoming access; every other
     contributing source location ({!Report.contributing_debugs}) becomes
     a related location, and the provenance fields travel in the result's
-    property bag. *)
+    property bag. [run_id] lands in the run-level property bag as
+    [runId]; omitted, the bag is absent (pre-PR7 output unchanged). *)
 
-val write_sarif : path:string -> generator:string -> Report.t list -> unit
+val write_sarif : path:string -> ?run_id:string -> generator:string -> Report.t list -> unit
+
+(** {1 Verdict digest} *)
+
+val verdict_digest : Report.t list -> string
+(** Hex digest over the rendered messages of the reports in order — the
+    replay equality contract ([obs replay] compares this, not file
+    bytes: export ids are renumbered per write and sim times embed the
+    config, but the message covers tool, matrix cell and both accesses
+    with their debug info). *)
 
 (** {1 Explain} *)
 

@@ -23,6 +23,7 @@ let () =
       ("memory", Test_memory.suite);
       ("obs", Test_obs.suite);
       ("events", Test_events.suite);
+      ("journal", Test_journal.suite);
       ("export", Test_export.suite);
       ("fault", Test_fault.suite);
     ]

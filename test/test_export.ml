@@ -286,6 +286,7 @@ let sample name wall metrics =
     wall_seconds = wall;
     peak_rss_bytes = 0.0;
     events_per_sec = 0.0;
+    critical_path_ms = 0.0;
     metrics;
   }
 
