@@ -337,6 +337,41 @@ let run_micro () =
       if Float.is_finite estimate then Some (name ^ "_ns", estimate) else None)
     rows
 
+
+(* Hybrid MPI+threads kernel sweep: accuracy of the contribution
+   analyzer over the hyb_* corpus across two interleave seeds, plus the
+   end-to-end wall cost of the threaded simulation. *)
+let run_hybrid () =
+  section "Hybrid MPI+threads kernels";
+  let module Scenario = Rma_microbench.Scenario in
+  let module Runner = Rma_microbench.Runner in
+  let kernels = Scenario.Kernel.hybrid in
+  let interleaves = [ 13; 29 ] in
+  let t0 = Rma_util.Timer.now () in
+  let correct = ref 0 and total = ref 0 in
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      List.iter
+        (fun interleave_seed ->
+          let tool =
+            Rma_analysis.Rma_analyzer.create ~nprocs:k.Scenario.Kernel.k_nprocs
+              ~mode:Rma_analysis.Tool.Collect Rma_analysis.Rma_analyzer.Contribution
+          in
+          let v = Runner.run_kernel ~interleave_seed ~tool k in
+          incr total;
+          if v.Runner.k_flagged = k.Scenario.Kernel.k_racy then incr correct)
+        interleaves)
+    kernels;
+  let wall = Rma_util.Timer.now () -. t0 in
+  Printf.printf "%d kernels x %d interleaves: %d/%d verdicts correct, %.3f s total\n"
+    (List.length kernels) (List.length interleaves) !correct !total wall;
+  [
+    ("hybrid_kernels", float_of_int (List.length kernels));
+    ("hybrid_verdicts_total", float_of_int !total);
+    ("hybrid_verdicts_correct", float_of_int !correct);
+    ("hybrid_wall_seconds", wall);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -480,17 +515,18 @@ let () =
     | "par" -> run_par ~scale ()
     | "fastpath" -> run_fastpath ()
     | "micro" -> run_micro ()
+    | "hybrid" -> run_hybrid ()
     | "all" -> []
     | other ->
         Printf.eprintf
           "unknown experiment %S (expected table2 table3 table4 fig5 fig8 fig9 fig10 fig11 fig12 \
-           ablation par fastpath micro all)\n"
+           ablation par fastpath micro hybrid all)\n"
           other;
         exit 2
   in
   let all_names =
     [ "table2"; "table3"; "table4"; "fig5"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
-      "ablation"; "par"; "fastpath"; "micro" ]
+      "ablation"; "par"; "fastpath"; "micro"; "hybrid" ]
   in
   let selected = List.concat_map (function "all" -> all_names | n -> [ n ]) selected in
   (* Each experiment becomes a top-level phase span so a trace of the

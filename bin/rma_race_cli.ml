@@ -273,6 +273,51 @@ let code_cmd =
     (Cmd.info "code" ~doc:"Run one microbenchmark code under a detector.")
     Term.(const run $ diag_term $ tool_arg $ name_arg)
 
+
+(* --- kernel --- *)
+
+let interleave_seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "interleave-seed" ] ~docv:"SEED"
+        ~doc:
+          "Decouple the scheduler's fiber-interleaving choices from the data-level seed. \
+           Defaults to $(b,RMA_INTERLEAVE_SEED) when set; otherwise scheduling draws from \
+           $(b,--seed) exactly as before.")
+
+let kernel_cmd =
+  let name_arg =
+    Arg.(
+      required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name (rrb_* or hyb_*).")
+  in
+  let run obs tool_choice name seed interleave_seed =
+    with_diag ~workload:("kernel", [ ("tool", Toolbox.slug tool_choice); ("kernel", name) ]) obs
+    @@ fun () ->
+    match Rma_microbench.Scenario.Kernel.find name with
+    | None ->
+        Printf.eprintf "unknown kernel %S\n" name;
+        exit 2
+    | Some k ->
+        let config = config () in
+        let tool = make_tool tool_choice ~nprocs:k.Rma_microbench.Scenario.Kernel.k_nprocs ~config in
+        let v = Rma_microbench.Runner.run_kernel ~seed ?interleave_seed ~tool k in
+        Printf.printf "%s: ground truth %s; %s says %s\n" name
+          (if k.Rma_microbench.Scenario.Kernel.k_racy then "RACE" else "safe")
+          tool.Tool.name
+          (if v.Rma_microbench.Runner.k_flagged then "error detected" else "no error");
+        List.iter
+          (fun r -> print_endline ("  " ^ Report.to_message r))
+          v.Rma_microbench.Runner.k_reports;
+        v.Rma_microbench.Runner.k_reports
+  in
+  Cmd.v
+    (Cmd.info "kernel"
+       ~doc:
+         "Run one RMARaceBench-shaped kernel (including the hybrid MPI+threads hyb_* family) \
+          under a detector, optionally with an explicit thread/rank interleaving seed.")
+    Term.(const run $ diag_term $ tool_arg $ name_arg $ seed_arg $ interleave_seed_arg)
+
 (* --- minivite --- *)
 
 let minivite_cmd =
@@ -702,6 +747,7 @@ let () =
           [
             suite_cmd;
             code_cmd;
+            kernel_cmd;
             minivite_cmd;
             cfd_cmd;
             bfs_cmd;

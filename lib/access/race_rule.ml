@@ -1,6 +1,6 @@
 type verdict = No_race | Race of { first : Access.t; second : Access.t }
 
-let conflict_kinds ~order_aware ~same_process ~first ~second =
+let conflict_kinds_ordered ~order_aware ~program_ordered ~first ~second =
   let open Access_kind in
   if is_local first && is_local second then false
   else if is_accumulate first && is_accumulate second then
@@ -12,19 +12,27 @@ let conflict_kinds ~order_aware ~same_process ~first ~second =
     let has_rma = is_rma first || is_rma second in
     let has_write = is_write first || is_write second in
     if not (has_rma && has_write) then false
-    else if same_process && order_aware && is_local first && is_rma second then
+    else if program_ordered && order_aware && is_local first && is_rma second then
       (* Program order: the local access finished before the RMA call was
-         issued by the same process, e.g. Load then MPI_Get (§5.2). *)
+         issued by the same thread of the same process — or by a thread
+         that had already joined/observed it (§5.2). A local access by a
+         *different, unsynchronised* thread of the same rank gets no such
+         protection: that is the hybrid MPI+threads race family. *)
       false
     else true
   end
 
+(* Without thread information, same-process accesses are assumed to be
+   program-ordered (the single-thread degenerate case). *)
+let conflict_kinds ~order_aware ~same_process ~first ~second =
+  conflict_kinds_ordered ~order_aware ~program_ordered:same_process ~first ~second
+
 let check ~order_aware ~existing ~incoming =
   if not (Interval.overlaps existing.Access.interval incoming.Access.interval) then No_race
   else begin
-    let same_process = Access.same_issuer existing incoming in
+    let program_ordered = Access.thread_ordered ~prior:existing ~later:incoming in
     if
-      conflict_kinds ~order_aware ~same_process ~first:existing.Access.kind
+      conflict_kinds_ordered ~order_aware ~program_ordered ~first:existing.Access.kind
         ~second:incoming.Access.kind
     then Race { first = existing; second = incoming }
     else No_race

@@ -14,19 +14,29 @@
 
 type verdict = No_race | Race of { first : Access.t; second : Access.t }
 
-val conflict_kinds : order_aware:bool -> same_process:bool ->
+val conflict_kinds_ordered : order_aware:bool -> program_ordered:bool ->
   first:Access_kind.t -> second:Access_kind.t -> bool
 (** Kind-level conflict table, ignoring intervals. [first] is the access
-    already recorded (issued earlier), [second] the newcomer. Accesses
-    from different processes are never ordered, so with
-    [same_process = false] any RMA+WRITE combination conflicts. Two
-    local accesses never conflict: within a process they are ordered by
-    program order, and across processes they target distinct address
-    spaces. *)
+    already recorded (issued earlier), [second] the newcomer.
+    [program_ordered] says whether [first] is known to happen-before
+    [second] inside one process (same thread, or threads synchronised by
+    a spawn/join/signal/wait edge); accesses of different processes are
+    never ordered, so any RMA+WRITE combination conflicts there. Two
+    local accesses never conflict. *)
+
+val conflict_kinds : order_aware:bool -> same_process:bool ->
+  first:Access_kind.t -> second:Access_kind.t -> bool
+(** {!conflict_kinds_ordered} under the single-thread assumption
+    [program_ordered = same_process] — the thread-oblivious table every
+    pre-hybrid caller used. A local access by one thread followed by an
+    RMA call by a {e different, unsynchronised} thread of the same rank
+    needs the ordered variant: it is [same_process = true] but
+    [program_ordered = false], and conflicts. *)
 
 val check : order_aware:bool -> existing:Access.t -> incoming:Access.t -> verdict
 (** Full predicate: overlap of intervals plus [conflict_kinds], with
-    [same_process] derived from the issuer ranks. *)
+    [same_process] derived from the issuer ranks and [program_ordered]
+    from {!Access.thread_ordered} over the carried thread identities. *)
 
 val races : order_aware:bool -> existing:Access.t -> incoming:Access.t -> bool
 (** [check] collapsed to a boolean. *)

@@ -57,8 +57,10 @@ let matrix_cell t =
   Printf.sprintf "%s x %s (%s)"
     (Access_kind.to_string t.existing.Access.kind)
     (Access_kind.to_string t.incoming.Access.kind)
-    (if t.existing.Access.issuer = t.incoming.Access.issuer then "same process"
-     else "different processes")
+    (if t.existing.Access.issuer <> t.incoming.Access.issuer then "different processes"
+     else if t.existing.Access.thread.Access.tid = t.incoming.Access.thread.Access.tid then
+       "same process"
+     else "same process, different threads")
 
 let contributing_debugs t =
   let seen = Hashtbl.create 8 in

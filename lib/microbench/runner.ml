@@ -143,12 +143,18 @@ type kernel_verdict = {
   k_reports : Rma_analysis.Report.t list;
 }
 
-let run_kernel ?(seed = 11) ~tool (kernel : Scenario.Kernel.t) =
+let run_kernel ?(seed = 11) ?interleave_seed ~tool (kernel : Scenario.Kernel.t) =
   tool.Rma_analysis.Tool.reset ();
+  (* The kernel harness — not Runtime.run — honours RMA_INTERLEAVE_SEED,
+     so a CI interleaving sweep perturbs kernel schedules without
+     touching traces produced by direct Runtime.run callers. *)
+  let interleave_seed =
+    match interleave_seed with Some _ as s -> s | None -> Runtime.default_interleave_seed ()
+  in
   let config = { Config.default with Config.analysis_overhead_scale = 0.0 } in
   (try
      ignore
-       (Runtime.run ~nprocs:kernel.Scenario.Kernel.k_nprocs ~seed ~config
+       (Runtime.run ~nprocs:kernel.Scenario.Kernel.k_nprocs ~seed ?interleave_seed ~config
           ~observer:tool.Rma_analysis.Tool.observer kernel.Scenario.Kernel.k_program)
    with Rma_analysis.Report.Race_abort _ -> ());
   let k_reports = tool.Rma_analysis.Tool.races () in

@@ -39,6 +39,11 @@ type kernel_verdict = {
   k_reports : Rma_analysis.Report.t list;
 }
 
-val run_kernel : ?seed:int -> tool:Rma_analysis.Tool.t -> Scenario.Kernel.t -> kernel_verdict
+val run_kernel :
+  ?seed:int ->
+  ?interleave_seed:int ->
+  tool:Rma_analysis.Tool.t ->
+  Scenario.Kernel.t ->
+  kernel_verdict
 (** Runs an RMARaceBench-shaped kernel on its [k_nprocs] ranks under the
     tool (reset first) and reports whether it flagged a race. *)

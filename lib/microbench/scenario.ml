@@ -451,5 +451,286 @@ module Kernel = struct
              k_program;
            })
 
-  let find name = List.find_opt (fun k -> String.equal k.k_name name) all
+
+  (* ---------------------------------------------------------------- *)
+  (* Hybrid MPI+threads kernels                                        *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Every hybrid kernel spawns at least one intra-rank thread and is
+     labelled with its ground truth under ANY legal interleaving: spawns
+     happen inside the epoch they target and every spawned thread is
+     joined (or ordered by signal/wait) before the epoch closes, so the
+     verdict cannot depend on the scheduler's interleave seed. *)
+  let hybrid =
+    [
+      (* Remote put racing the target's OWN spawned thread reading the
+         same window bytes inside one passive epoch. *)
+      ( "put_tload",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base ~buf ->
+            if rank = 1 then put ~line:11 ~disp:conflict_disp win buf;
+            if rank = 0 then begin
+              let t =
+                Mpi.thread_spawn (fun () ->
+                    ignore (Mpi.load ~loc:(loc 21 "Load") ~addr:(base + conflict_disp) ~len:8 ()))
+              in
+              Mpi.thread_join t
+            end) );
+      (* Same pair under active target, both in the same fence phase. *)
+      ( "epoch_put_tload",
+        Fence,
+        Remote,
+        true,
+        with_fences
+          [
+            (fun ~rank ~win ~base ~buf ->
+              if rank = 1 then put ~line:11 ~disp:conflict_disp win buf;
+              if rank = 0 then begin
+                let t =
+                  Mpi.thread_spawn (fun () ->
+                      ignore
+                        (Mpi.load ~loc:(loc 21 "Load") ~addr:(base + conflict_disp) ~len:8 ()))
+                in
+                Mpi.thread_join t
+              end);
+          ] );
+      (* The spawned reader parks on a signal the main thread only posts
+         in the NEXT fence phase: the load is pinned to the put-free
+         epoch, so the pair is safe in every interleaving. *)
+      ( "sigwait_put_tload",
+        Fence,
+        Remote,
+        false,
+        (fun () ->
+          let rank = Mpi.comm_rank () in
+          let base = Mpi.alloc ~label:"window" ~exposed:true window_bytes in
+          let buf = Mpi.alloc ~label:"origin" ~exposed:true 8 in
+          let win = Mpi.win_create ~base ~size:window_bytes in
+          Mpi.win_fence win;
+          (* Phase 1: rank 1 puts; rank 0 spawns the parked reader. *)
+          let reader = ref None in
+          if rank = 1 then put ~line:11 ~disp:conflict_disp win buf;
+          if rank = 0 then
+            reader :=
+              Some
+                (Mpi.thread_spawn (fun () ->
+                     Mpi.wait 0;
+                     ignore
+                       (Mpi.load ~loc:(loc 21 "Load") ~addr:(base + conflict_disp) ~len:8 ())));
+          Mpi.win_fence win;
+          (* Phase 2: release and retire the reader. *)
+          (match !reader with
+          | Some t ->
+              Mpi.signal 0;
+              Mpi.thread_join t
+          | None -> ());
+          Mpi.win_fence win;
+          Mpi.win_free win) );
+      (* Thread load in the fence phase AFTER the put: safe. *)
+      ( "phase_put_tload",
+        Fence,
+        Remote,
+        false,
+        with_fences
+          [
+            (fun ~rank ~win ~base:_ ~buf ->
+              if rank = 1 then put ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win:_ ~base ~buf:_ ->
+              if rank = 0 then begin
+                let t =
+                  Mpi.thread_spawn (fun () ->
+                      ignore
+                        (Mpi.load ~loc:(loc 21 "Load") ~addr:(base + conflict_disp) ~len:8 ()))
+                in
+                Mpi.thread_join t
+              end);
+          ] );
+      (* Remote get vs a target-side thread writing the read bytes. *)
+      ( "get_tstore",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base ~buf ->
+            if rank = 1 then get ~line:11 ~disp:conflict_disp win buf;
+            if rank = 0 then begin
+              let t =
+                Mpi.thread_spawn (fun () ->
+                    Mpi.store ~loc:(loc 21 "Store") ~addr:(base + conflict_disp)
+                      (Bytes.make 8 'h'))
+              in
+              Mpi.thread_join t
+            end) );
+      (* The same store moved one fence phase later: safe. *)
+      ( "phase_get_tstore",
+        Fence,
+        Remote,
+        false,
+        with_fences
+          [
+            (fun ~rank ~win ~base:_ ~buf ->
+              if rank = 1 then get ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win:_ ~base ~buf:_ ->
+              if rank = 0 then begin
+                let t =
+                  Mpi.thread_spawn (fun () ->
+                      Mpi.store ~loc:(loc 21 "Store") ~addr:(base + conflict_disp)
+                        (Bytes.make 8 'h'))
+                in
+                Mpi.thread_join t
+              end);
+          ] );
+      (* The kernel the thread-aware order test exists for: a sibling
+         thread stores the origin buffer while the main thread puts from
+         it. Same rank, so the thread-oblivious rule would excuse the
+         store under the local-then-RMA program-order exception; the
+         threads are unsynchronised, so it is a race. *)
+      ( "tstore_put_unordered",
+        Lock_all,
+        Local_buffer,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              let t =
+                Mpi.thread_spawn (fun () ->
+                    Mpi.store ~loc:(loc 21 "Store") ~addr:buf (Bytes.make 8 'k'))
+              in
+              put ~line:11 ~disp:disjoint_disp win buf;
+              Mpi.thread_join t
+            end) );
+      (* Join the storing thread BEFORE the put: the join edge makes the
+         store program-ordered before the RMA call, restoring the
+         Figure 3 exception. *)
+      ( "tstore_join_put",
+        Lock_all,
+        Local_buffer,
+        false,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              let t =
+                Mpi.thread_spawn (fun () ->
+                    Mpi.store ~loc:(loc 21 "Store") ~addr:buf (Bytes.make 8 'k'))
+              in
+              Mpi.thread_join t;
+              put ~line:11 ~disp:disjoint_disp win buf
+            end) );
+      (* Signal/wait as the ordering edge: the main thread stores the
+         buffer and signals; the sibling waits, then gets into it. *)
+      ( "store_sigwait_tget",
+        Lock_all,
+        Local_buffer,
+        false,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              let t =
+                Mpi.thread_spawn (fun () ->
+                    Mpi.wait 0;
+                    get ~line:21 ~disp:conflict_disp win buf)
+              in
+              Mpi.store ~loc:(loc 11 "Store") ~addr:buf (Bytes.make 8 'k');
+              Mpi.signal 0;
+              Mpi.thread_join t
+            end) );
+      (* The same pair with the signal removed: the get may overwrite the
+         buffer while the sibling's store is in flight. *)
+      ( "store_nosig_tget",
+        Lock_all,
+        Local_buffer,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              let t = Mpi.thread_spawn (fun () -> get ~line:21 ~disp:conflict_disp win buf) in
+              Mpi.store ~loc:(loc 11 "Store") ~addr:buf (Bytes.make 8 'k');
+              Mpi.thread_join t
+            end) );
+      (* Two sibling threads of one origin putting to the same target
+         bytes: unordered RMA writes race even within one rank. *)
+      ( "tput_tput",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              let t = Mpi.thread_spawn (fun () -> put ~line:21 ~disp:conflict_disp win buf) in
+              put ~line:11 ~disp:conflict_disp win buf;
+              Mpi.thread_join t
+            end) );
+      (* Disjoint displacements: safe. *)
+      ( "tput_tput_disjoint",
+        Lock_all,
+        Remote,
+        false,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then begin
+              let t = Mpi.thread_spawn (fun () -> put ~line:21 ~disp:disjoint_disp win buf) in
+              put ~line:11 ~disp:conflict_disp win buf;
+              Mpi.thread_join t
+            end) );
+      (* A task reads the window, signals, and the main thread waits
+         before fencing: closing the epoch is perfectly protected, yet
+         the load still shares the phase with rank 1's put — race. *)
+      ( "tload_window_close",
+        Fence,
+        Remote,
+        true,
+        with_fences
+          [
+            (fun ~rank ~win ~base ~buf ->
+              if rank = 1 then put ~line:11 ~disp:conflict_disp win buf;
+              if rank = 0 then begin
+                let t =
+                  Mpi.thread_spawn (fun () ->
+                      ignore
+                        (Mpi.load ~loc:(loc 21 "Load") ~addr:(base + conflict_disp) ~len:8 ());
+                      Mpi.signal 0)
+                in
+                Mpi.wait 0;
+                Mpi.thread_join t
+              end);
+          ] );
+      (* Element-atomic accumulates stay safe when one of them moves to a
+         spawned thread of another rank. *)
+      ( "acc_tacc_atomic",
+        Lock_all,
+        Remote,
+        false,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then accumulate ~line:11 ~disp:conflict_disp win buf;
+            if rank = 2 then begin
+              let t =
+                Mpi.thread_spawn (fun () -> accumulate ~line:21 ~disp:conflict_disp win buf)
+              in
+              Mpi.thread_join t
+            end) );
+      (* ... but mixing in a plain put from the thread loses atomicity. *)
+      ( "acc_tput_mixed",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all (fun ~rank ~win ~base:_ ~buf ->
+            if rank = 1 then accumulate ~line:11 ~disp:conflict_disp win buf;
+            if rank = 2 then begin
+              let t = Mpi.thread_spawn (fun () -> put ~line:21 ~disp:conflict_disp win buf) in
+              Mpi.thread_join t
+            end) );
+    ]
+    |> List.map (fun (stem, k_sync, k_locality, k_racy, k_program) ->
+           {
+             k_name =
+               Printf.sprintf "hyb_%s_%s_%s_%s" (sync_name k_sync) (locality_name k_locality)
+                 stem
+                 (if k_racy then "race" else "safe");
+             k_sync;
+             k_locality;
+             k_nprocs = 3;
+             k_racy;
+             k_program;
+           })
+
+  let find name =
+    List.find_opt (fun k -> String.equal k.k_name name) all
+    |> function
+    | Some _ as found -> found
+    | None -> List.find_opt (fun k -> String.equal k.k_name name) hybrid
 end

@@ -119,5 +119,14 @@ module Kernel : sig
   val all : t list
   (** The full corpus; every kernel wants [k_nprocs] ranks. *)
 
+  val hybrid : t list
+  (** Hybrid MPI+threads kernels ([hyb_] prefix): every one spawns at
+      least one intra-rank thread and carries a ground-truth label that
+      holds under {e any} legal interleaving — spawned threads are
+      joined (or signal/wait-ordered) before the epoch they access
+      closes, so no schedule can move an access across the
+      synchronisation that labels it. *)
+
   val find : string -> t option
+  (** Looks through [all] and then [hybrid]. *)
 end

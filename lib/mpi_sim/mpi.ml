@@ -127,3 +127,24 @@ let allreduce_float value ~op:o =
   match op (Runtime.R_allreduce { value = Int64.bits_of_float value; op = o; as_float = true }) with
   | Runtime.RI64 v -> Int64.float_of_bits v
   | _ -> protocol_bug "allreduce_float"
+
+let thread_spawn body =
+  match op (Runtime.R_thread_spawn { body }) with
+  | Runtime.RInt tid -> tid
+  | _ -> protocol_bug "thread_spawn"
+
+let thread_join tid =
+  match op (Runtime.R_thread_join { tid }) with
+  | Runtime.RUnit -> ()
+  | _ -> protocol_bug "thread_join"
+
+let thread_self () =
+  match op Runtime.R_thread_self with Runtime.RInt t -> t | _ -> protocol_bug "thread_self"
+
+let signal sig_id =
+  match op (Runtime.R_signal { sig_id }) with
+  | Runtime.RUnit -> ()
+  | _ -> protocol_bug "signal"
+
+let wait sig_id =
+  match op (Runtime.R_wait { sig_id }) with Runtime.RUnit -> () | _ -> protocol_bug "wait"

@@ -125,3 +125,35 @@ val allreduce_int : int -> op:Runtime.reduce_op -> int
 val allreduce_float : float -> op:Runtime.reduce_op -> float
 (** Float allreduce via bit-carrying of binary64 (exact for Max/Min on
     non-negative values; Sum combines with float addition). *)
+
+(** {1 Intra-rank threads (hybrid MPI+threads)}
+
+    A rank program may spawn cooperative threads that share the rank's
+    address space, windows and MPI state (MPI_THREAD_MULTIPLE-style;
+    collectives may still be entered by only one thread of a rank at a
+    time). Thread clocks advance only at the synchronisation points
+    below; accesses carry their issuing thread's identity so the
+    detectors can distinguish program-ordered from merely same-rank
+    access pairs. *)
+
+val thread_spawn : (unit -> unit) -> int
+(** Start a new thread of the calling rank running [body]; returns its
+    thread id. The spawn is a synchronisation edge: the child observes
+    everything the parent did before the call (but not vice versa). *)
+
+val thread_join : int -> unit
+(** Block until the thread with the given id finishes; a synchronisation
+    edge from the child's last action to the caller's next. *)
+
+val thread_self : unit -> int
+(** The calling thread's id within its rank; 0 for the main thread. *)
+
+val signal : int -> unit
+(** Post one count on the given intra-rank signal slot (a counting
+    semaphore), releasing one waiter if any is blocked. The released (or
+    future) waiter observes everything every signaller did before
+    signalling. *)
+
+val wait : int -> unit
+(** Consume one count from the signal slot, blocking until one is
+    available. *)

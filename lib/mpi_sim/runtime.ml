@@ -1,5 +1,6 @@
 open Rma_access
 module Obs = Rma_obs.Obs
+module Vclock = Rma_vclock.Vclock
 
 exception Mpi_error of string
 exception Deadlock of string
@@ -54,6 +55,11 @@ type request =
   | R_recv of { src : int option; tag : int option }
   | R_barrier
   | R_allreduce of { value : int64; op : reduce_op; as_float : bool }
+  | R_thread_spawn of { body : unit -> unit }
+  | R_thread_join of { tid : int }
+  | R_thread_self
+  | R_signal of { sig_id : int }
+  | R_wait of { sig_id : int }
 
 type reply =
   | RUnit
@@ -72,7 +78,13 @@ type result = {
   wall_seconds : float;
   events_emitted : int;
   accesses_emitted : int;
+  threads_spawned : int;
 }
+
+let default_interleave_seed () =
+  match Sys.getenv_opt "RMA_INTERLEAVE_SEED" with
+  | None -> None
+  | Some v -> int_of_string_opt (String.trim v)
 
 (* ------------------------------------------------------------------ *)
 (* Scheduler state                                                      *)
@@ -104,6 +116,30 @@ type window = {
   lock_waiters : (int, lock_request Queue.t) Hashtbl.t;  (* per target *)
 }
 
+(* One intra-rank thread: an effect-handler fiber sharing the rank's
+   address space, MPI state and simulated clock, with its own intra-rank
+   vector clock. The clock ticks only at synchronisation points
+   (spawn/join/signal/wait), so in a single-threaded rank every access
+   carries the same virgin stamp — the thread-oblivious degenerate
+   case. *)
+type thread_state = {
+  tid : int;
+  mutable tclock : Vclock.t;
+  mutable tview : (int * int) list;  (* cached Vclock.components tclock *)
+  mutable town : int;  (* cached own component of tclock *)
+  mutable t_done : bool;
+  mutable joiners : (int * continuation) list;  (* threads blocked joining this one *)
+}
+
+(* A counting semaphore used for task-style signal/wait ordering inside
+   one rank. The slot accumulates the merged clock of every signaller so
+   a released waiter observes all of them. *)
+type signal_slot = {
+  mutable sig_count : int;
+  mutable sig_clock : Vclock.t;
+  sig_waiters : (int * continuation) Queue.t;
+}
+
 type rank_state = {
   rank : int;
   memory : Memory.t;
@@ -113,6 +149,10 @@ type rank_state = {
   mailbox : message Queue.t;
   mutable recv_waiter : (int option * int option * continuation) option;
   mutable done_ : bool;
+  threads : (int, thread_state) Hashtbl.t;
+  mutable next_tid : int;
+  mutable live_threads : int;
+  signals : (int, signal_slot) Hashtbl.t;
 }
 
 (* A collective in progress: ranks that arrived, their payloads and
@@ -136,10 +176,16 @@ type scheduler = {
   fence_states : (Event.win_id, gather) Hashtbl.t;
   runnable : (unit -> unit) Queue.t;
   mutable current : int;  (* rank whose fiber is executing *)
-  mutable pending_request : (int * request * continuation) option;
+  mutable pending_request : (int * int * request * continuation) option;
+      (* rank, thread, request, continuation *)
   mutable events_emitted : int;
   mutable accesses_emitted : int;
+  mutable threads_spawned : int;
   mutable live : int;  (* ranks not yet finished *)
+  interleave : Rma_util.Prng.t;
+      (* Drives only the runnable-fiber pick. Physically equal to [rng]
+         unless an explicit interleave seed decouples scheduling choices
+         from the data-level coin flips. *)
 }
 
 let fresh_gather () = { arrived = [] }
@@ -191,6 +237,43 @@ let next_seq s =
   s.seq <- s.seq + 1;
   s.seq
 
+(* ------------------------------------------------------------------ *)
+(* Intra-rank threads                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let refresh_thread_caches ~rank th =
+  th.tview <- Vclock.components th.tclock;
+  th.town <- Vclock.get th.tclock (Vclock.rt_key ~rank ~thread:th.tid)
+
+let make_thread ~rank ~tid tclock =
+  let th = { tid; tclock; tview = []; town = 0; t_done = false; joiners = [] } in
+  refresh_thread_caches ~rank th;
+  th
+
+let thread_of rk tid =
+  match Hashtbl.find_opt rk.threads tid with
+  | Some th -> th
+  | None -> raise (Mpi_error (Printf.sprintf "rank %d: unknown thread %d" rk.rank tid))
+
+let thread_info_of (th : thread_state) =
+  { Access.tid = th.tid; tstamp = th.town; tview = th.tview }
+
+(* Joiner merges the joined thread's final clock, then ticks its own
+   component: subsequent accesses are ordered after everything the
+   joined thread did. *)
+let absorb_into ~rank joiner other_clock =
+  joiner.tclock <-
+    Vclock.tick (Vclock.merge joiner.tclock other_clock) (Vclock.rt_key ~rank ~thread:joiner.tid);
+  refresh_thread_caches ~rank joiner
+
+let signal_slot_of rk sig_id =
+  match Hashtbl.find_opt rk.signals sig_id with
+  | Some slot -> slot
+  | None ->
+      let slot = { sig_count = 0; sig_clock = Vclock.empty; sig_waiters = Queue.create () } in
+      Hashtbl.replace rk.signals sig_id slot;
+      slot
+
 let window_of_rank_region s rank iv =
   (* The window (if any) whose region on [rank] contains the interval. *)
   Hashtbl.fold
@@ -206,7 +289,7 @@ let window_of_rank_region s rank iv =
           end)
     s.windows None
 
-let emit_access s ~space ~issuer ~interval ~kind ~win ~loc =
+let emit_access s ~space ~issuer ~thread ~interval ~kind ~win ~loc =
   s.accesses_emitted <- s.accesses_emitted + 1;
   let mem = s.ranks.(space).memory in
   let relevant =
@@ -218,7 +301,7 @@ let emit_access s ~space ~issuer ~interval ~kind ~win ~loc =
   let win =
     match win with Some _ -> win | None -> window_of_rank_region s space interval
   in
-  let access = Access.make ~interval ~kind ~issuer ~seq:(next_seq s) ~debug:loc in
+  let access = Access.make_threaded ~thread ~interval ~kind ~issuer ~seq:(next_seq s) ~debug:loc in
   let ev =
     Event.Access
       {
@@ -383,8 +466,59 @@ let release_gather s gather ~cost ~value =
       resume s r k (value r))
     members
 
-let handle_request s rank req k =
+(* One fiber = one intra-rank thread. The effect handler parks the
+   thread's request for the trampoline; the return continuation retires
+   the thread, releases its joiners and — when it was the rank's last
+   live thread — finishes the rank. With one thread per rank this is
+   exactly the historical per-rank fiber. *)
+let spawn_fiber s rank tid program =
+  let handler =
+    {
+      Effect.Deep.retc =
+        (fun () ->
+          let rk = s.ranks.(rank) in
+          let th = thread_of rk tid in
+          th.t_done <- true;
+          rk.live_threads <- rk.live_threads - 1;
+          let joiners = List.rev th.joiners in
+          th.joiners <- [];
+          List.iter
+            (fun (jtid, jk) ->
+              absorb_into ~rank (thread_of rk jtid) th.tclock;
+              resume s rank jk RUnit)
+            joiners;
+          if rk.live_threads = 0 then begin
+            rk.done_ <- true;
+            s.live <- s.live - 1;
+            dispatch s ~charge_to:rank (Event.Finished { rank; sim_time = rk.clock })
+          end);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Op req ->
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  s.pending_request <- Some (rank, tid, req, k))
+          | _ -> None);
+    }
+  in
+  Queue.add
+    (fun () ->
+      s.current <- rank;
+      Effect.Deep.match_with program () handler)
+    s.runnable
+
+let no_double_gather ~what rank present =
+  if present then
+    raise
+      (Mpi_error
+         (Printf.sprintf "rank %d: concurrent %s from two threads of the same rank" rank what))
+
+let handle_request s rank tid req k =
   let rk = s.ranks.(rank) in
+  let th = thread_of rk tid in
+  let tinfo = thread_info_of th in
   let cfg = s.config in
   match req with
   | R_rank -> resume s rank k (RInt rank)
@@ -398,17 +532,19 @@ let handle_request s rank req k =
       resume s rank k (RInt addr)
   | R_load { addr; len; loc } ->
       let data = Memory.read rk.memory ~addr ~len in
-      emit_access s ~space:rank ~issuer:rank
+      emit_access s ~space:rank ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr ~len)
         ~kind:Access_kind.Local_read ~win:None ~loc;
       resume s rank k (RBytes data)
   | R_store { addr; data; loc } ->
       Memory.write rk.memory ~addr ~data;
-      emit_access s ~space:rank ~issuer:rank
+      emit_access s ~space:rank ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr ~len:(Bytes.length data))
         ~kind:Access_kind.Local_write ~win:None ~loc;
       resume s rank k RUnit
   | R_win_create { base; size } ->
+      no_double_gather ~what:"win_create" rank
+        (List.exists (fun (r, _, _, _) -> r = rank) s.win_create_state);
       s.win_create_state <- (rank, base, Int64.of_int size, k) :: s.win_create_state;
       if List.length s.win_create_state = s.nprocs then begin
         let members = s.win_create_state in
@@ -462,6 +598,8 @@ let handle_request s rank req k =
           raise
             (Mpi_error (Printf.sprintf "rank %d: win_free with an open epoch on window %d" rank win))
       | None -> ());
+      no_double_gather ~what:"win_free" rank
+        (List.exists (fun (r, _, _) -> r = rank) s.win_free_state.arrived);
       s.win_free_state.arrived <- (rank, Int64.of_int win, k) :: s.win_free_state.arrived;
       if List.length s.win_free_state.arrived = s.nprocs then begin
         let ids =
@@ -552,6 +690,8 @@ let handle_request s rank req k =
             Hashtbl.replace s.fence_states win g;
             g
       in
+      no_double_gather ~what:"win_fence" rank
+        (List.exists (fun (r, _, _) -> r = rank) gather.arrived);
       gather.arrived <- (rank, 0L, k) :: gather.arrived;
       if List.length gather.arrived = s.nprocs then begin
         Obs.incr obs_collectives;
@@ -611,10 +751,10 @@ let handle_request s rank req k =
       (* Origin side: the Put reads the origin buffer (RMA_Read); target
          side: it writes the window (RMA_Write). Both recorded eagerly,
          as RMA-Analyzer's notification sends do. *)
-      emit_access s ~space:rank ~issuer:rank
+      emit_access s ~space:rank ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr:origin_addr ~len)
         ~kind:Access_kind.Rma_read ~win:(Some win) ~loc;
-      emit_access s ~space:target ~issuer:rank
+      emit_access s ~space:target ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr:target_addr ~len)
         ~kind:Access_kind.Rma_write ~win:(Some win) ~loc;
       let origin_mem = rk.memory and target_mem = s.ranks.(target).memory in
@@ -640,10 +780,10 @@ let handle_request s rank req k =
       let target_addr = w.bases.(target) + target_disp in
       (* Origin side: the Get writes the origin buffer (RMA_Write);
          target side: it reads the window (RMA_Read). *)
-      emit_access s ~space:rank ~issuer:rank
+      emit_access s ~space:rank ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr:origin_addr ~len)
         ~kind:Access_kind.Rma_write ~win:(Some win) ~loc;
-      emit_access s ~space:target ~issuer:rank
+      emit_access s ~space:target ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr:target_addr ~len)
         ~kind:Access_kind.Rma_read ~win:(Some win) ~loc;
       let origin_mem = rk.memory and target_mem = s.ranks.(target).memory in
@@ -669,10 +809,10 @@ let handle_request s rank req k =
       Obs.incr obs_rma_ops;
       rk.clock <- rk.clock +. cfg.Config.alpha_rma;
       let target_addr = w.bases.(target) + target_disp in
-      emit_access s ~space:rank ~issuer:rank
+      emit_access s ~space:rank ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr:origin_addr ~len)
         ~kind:Access_kind.Rma_read ~win:(Some win) ~loc;
-      emit_access s ~space:target ~issuer:rank
+      emit_access s ~space:target ~issuer:rank ~thread:tinfo
         ~interval:(Interval.of_range ~addr:target_addr ~len)
         ~kind:Access_kind.Rma_accumulate ~win:(Some win) ~loc;
       let origin_mem = rk.memory and target_mem = s.ranks.(target).memory in
@@ -704,6 +844,8 @@ let handle_request s rank req k =
       rk.recv_waiter <- Some (src, tag, k);
       try_deliver s rank
   | R_barrier ->
+      no_double_gather ~what:"barrier" rank
+        (List.exists (fun (r, _, _) -> r = rank) s.barrier_state.arrived);
       s.barrier_state.arrived <- (rank, 0L, k) :: s.barrier_state.arrived;
       if List.length s.barrier_state.arrived = s.nprocs then begin
         Obs.incr obs_collectives;
@@ -719,6 +861,8 @@ let handle_request s rank req k =
           ~value:(fun _ -> RUnit)
       end
   | R_allreduce { value; op; as_float } ->
+      no_double_gather ~what:"allreduce" rank
+        (List.exists (fun (r, _, _) -> r = rank) s.allreduce_state.arrived);
       s.allreduce_state.arrived <- (rank, value, k) :: s.allreduce_state.arrived;
       if List.length s.allreduce_state.arrived = s.nprocs then begin
         Obs.incr obs_collectives;
@@ -741,36 +885,63 @@ let handle_request s rank req k =
           ~cost:(Config.collective_cost cfg ~nprocs:s.nprocs ~bytes_count:8)
           ~value:(fun _ -> RI64 combined)
       end
+  | R_thread_spawn { body } ->
+      if rk.next_tid >= Vclock.threads_per_rank then
+        raise
+          (Mpi_error
+             (Printf.sprintf "rank %d: thread limit %d reached" rank Vclock.threads_per_rank));
+      let child_tid = rk.next_tid in
+      rk.next_tid <- child_tid + 1;
+      (* The child is born with the parent's clock plus its own birth
+         tick; the parent ticks its own component so accesses after the
+         spawn are unordered with the child's. *)
+      let child =
+        make_thread ~rank ~tid:child_tid
+          (Vclock.tick th.tclock (Vclock.rt_key ~rank ~thread:child_tid))
+      in
+      th.tclock <- Vclock.tick th.tclock (Vclock.rt_key ~rank ~thread:tid);
+      refresh_thread_caches ~rank th;
+      Hashtbl.replace rk.threads child_tid child;
+      rk.live_threads <- rk.live_threads + 1;
+      s.threads_spawned <- s.threads_spawned + 1;
+      spawn_fiber s rank child_tid body;
+      resume s rank k (RInt child_tid)
+  | R_thread_self -> resume s rank k (RInt tid)
+  | R_thread_join { tid = target } ->
+      if target = tid then
+        raise (Mpi_error (Printf.sprintf "rank %d: thread %d joining itself" rank tid));
+      let tgt = thread_of rk target in
+      if tgt.t_done then begin
+        absorb_into ~rank th tgt.tclock;
+        resume s rank k RUnit
+      end
+      else tgt.joiners <- (tid, k) :: tgt.joiners
+  | R_signal { sig_id } ->
+      let slot = signal_slot_of rk sig_id in
+      (* Publish the signaller's clock before its own post-signal tick:
+         the waiter observes everything up to the signal, nothing
+         after. *)
+      slot.sig_clock <- Vclock.merge slot.sig_clock th.tclock;
+      th.tclock <- Vclock.tick th.tclock (Vclock.rt_key ~rank ~thread:tid);
+      refresh_thread_caches ~rank th;
+      (match Queue.take_opt slot.sig_waiters with
+      | Some (wtid, wk) ->
+          absorb_into ~rank (thread_of rk wtid) slot.sig_clock;
+          resume s rank wk RUnit
+      | None -> slot.sig_count <- slot.sig_count + 1);
+      resume s rank k RUnit
+  | R_wait { sig_id } ->
+      let slot = signal_slot_of rk sig_id in
+      if slot.sig_count > 0 then begin
+        slot.sig_count <- slot.sig_count - 1;
+        absorb_into ~rank th slot.sig_clock;
+        resume s rank k RUnit
+      end
+      else Queue.add (tid, k) slot.sig_waiters
 
 (* ------------------------------------------------------------------ *)
-(* Fiber spawning and the trampoline                                    *)
+(* The trampoline                                                       *)
 (* ------------------------------------------------------------------ *)
-
-let spawn s rank program =
-  let handler =
-    {
-      Effect.Deep.retc =
-        (fun () ->
-          let rk = s.ranks.(rank) in
-          rk.done_ <- true;
-          s.live <- s.live - 1;
-          dispatch s ~charge_to:rank (Event.Finished { rank; sim_time = rk.clock }));
-      exnc = (fun e -> raise e);
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Op req ->
-              Some
-                (fun (k : (a, unit) Effect.Deep.continuation) ->
-                  s.pending_request <- Some (rank, req, k))
-          | _ -> None);
-    }
-  in
-  Queue.add
-    (fun () ->
-      s.current <- rank;
-      Effect.Deep.match_with program () handler)
-    s.runnable
 
 let describe_blocked s =
   let blocked = ref [] in
@@ -803,21 +974,52 @@ let describe_blocked s =
                      w.lock_waiters acc)
               s.windows false
           then "waiting for a window lock"
-          else "blocked"
+          else begin
+            let thread_why = ref None in
+            Hashtbl.iter
+              (fun _ th ->
+                List.iter
+                  (fun (jtid, _) ->
+                    if !thread_why = None then
+                      thread_why :=
+                        Some
+                          (Printf.sprintf "thread %d waiting to join thread %d" jtid th.tid))
+                  th.joiners)
+              rk.threads;
+            Hashtbl.iter
+              (fun sig_id slot ->
+                Queue.iter
+                  (fun (wtid, _) ->
+                    if !thread_why = None then
+                      thread_why :=
+                        Some (Printf.sprintf "thread %d waiting on signal %d" wtid sig_id))
+                  slot.sig_waiters)
+              rk.signals;
+            match !thread_why with Some w -> w | None -> "blocked"
+          end
         in
         blocked := Printf.sprintf "rank %d: %s" rk.rank why :: !blocked
       end)
     s.ranks;
   String.concat "; " (List.rev !blocked)
 
-let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_observer) program =
+let run ~nprocs ?(seed = 42) ?interleave_seed ?(config = Config.default)
+    ?(observer = Event.null_observer) program =
   if nprocs <= 0 then invalid_arg "Runtime.run: nprocs must be positive";
+  let rng = Rma_util.Prng.create ~seed in
+  (* Without an explicit interleave seed the scheduling picks draw from
+     the same stream as the data-level coin flips — physically the same
+     PRNG — reproducing the exact pre-hybrid schedules byte for byte. *)
+  let interleave =
+    match interleave_seed with None -> rng | Some i -> Rma_util.Prng.create ~seed:i
+  in
   let s =
     {
       nprocs;
       config;
       observer;
-      rng = Rma_util.Prng.create ~seed;
+      rng;
+      interleave;
       ranks =
         Array.init nprocs (fun rank ->
             {
@@ -829,6 +1031,15 @@ let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_
               mailbox = Queue.create ();
               recv_waiter = None;
               done_ = false;
+              threads =
+                (let tbl = Hashtbl.create 4 in
+                 Hashtbl.replace tbl 0
+                   (make_thread ~rank ~tid:0
+                      (Vclock.tick Vclock.empty (Vclock.rt_key ~rank ~thread:0)));
+                 tbl);
+              next_tid = 1;
+              live_threads = 1;
+              signals = Hashtbl.create 4;
             });
       windows = Hashtbl.create 8;
       next_win = 0;
@@ -843,13 +1054,14 @@ let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_
       pending_request = None;
       events_emitted = 0;
       accesses_emitted = 0;
+      threads_spawned = 0;
       live = nprocs;
     }
   in
   Obs.begin_sim_run ();
   let wall0 = Rma_util.Timer.now () in
   for rank = 0 to nprocs - 1 do
-    spawn s rank program
+    spawn_fiber s rank 0 program
   done;
   (* Trampoline: run one fiber step, then service the request it left
      behind (if any). Picking a random runnable thunk interleaves ranks
@@ -860,7 +1072,7 @@ let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_
        a random split point. Cheap because the queue stays small (at most
        one entry per rank). *)
     let n = Queue.length s.runnable in
-    let idx = if n <= 1 then 0 else Rma_util.Prng.int s.rng ~bound:n in
+    let idx = if n <= 1 then 0 else Rma_util.Prng.int s.interleave ~bound:n in
     scratch := [];
     for _ = 1 to idx do
       scratch := Queue.pop s.runnable :: !scratch
@@ -874,9 +1086,9 @@ let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_
     step ();
     match s.pending_request with
     | None -> ()
-    | Some (rank, req, k) -> (
+    | Some (rank, tid, req, k) -> (
         s.pending_request <- None;
-        match handle_request s rank req k with
+        match handle_request s rank tid req k with
         | () -> ()
         | exception Mpi_error msg ->
             (* Deliver interface misuse into the offending rank so its
@@ -918,4 +1130,5 @@ let run ~nprocs ?(seed = 42) ?(config = Config.default) ?(observer = Event.null_
     wall_seconds = wall1 -. wall0;
     events_emitted = s.events_emitted;
     accesses_emitted = s.accesses_emitted;
+    threads_spawned = s.threads_spawned;
   }

@@ -79,6 +79,11 @@ type request =
   | R_recv of { src : int option; tag : int option }
   | R_barrier
   | R_allreduce of { value : int64; op : reduce_op; as_float : bool }
+  | R_thread_spawn of { body : unit -> unit }
+  | R_thread_join of { tid : int }
+  | R_thread_self
+  | R_signal of { sig_id : int }
+  | R_wait of { sig_id : int }
 
 type reply =
   | RUnit
@@ -99,11 +104,21 @@ type result = {
   wall_seconds : float;  (** Real time the whole simulation took. *)
   events_emitted : int;
   accesses_emitted : int;
+  threads_spawned : int;
+      (** Intra-rank threads created across all ranks (main threads not
+          counted); 0 for every pre-hybrid program. *)
 }
+
+val default_interleave_seed : unit -> int option
+(** The [RMA_INTERLEAVE_SEED] environment variable, parsed. [Runtime.run]
+    itself never reads it — harnesses (e.g. the microbench runner) use it
+    to default their [?interleave_seed] so CI can sweep schedules without
+    perturbing traces produced by direct [run] callers. *)
 
 val run :
   nprocs:int ->
   ?seed:int ->
+  ?interleave_seed:int ->
   ?config:Config.t ->
   ?observer:Event.observer ->
   (unit -> unit) ->
@@ -111,4 +126,11 @@ val run :
 (** Runs the program on every rank. Raises [Mpi_error]/[Deadlock] on
     misuse, and lets any exception raised by the observer (e.g. a
     detector's race-abort) or by a rank program propagate to the
-    caller. *)
+    caller.
+
+    [?interleave_seed] decouples the scheduler's runnable-fiber picks
+    from the data-level coin flips (deferred-RMA application, payloads):
+    two runs with the same [seed] but different interleave seeds explore
+    different thread/rank schedules over identical data behaviour. When
+    omitted, scheduling draws from the [seed] stream exactly as before,
+    so existing traces are byte-identical. *)

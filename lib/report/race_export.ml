@@ -20,16 +20,32 @@ let json_of_debug (d : Debug_info.t) =
       ("operation", Json.String d.Debug_info.operation);
     ]
 
+(* Thread fields are emitted only for a non-default issuing-thread
+   identity, so single-thread race files are byte-identical to the
+   thread-oblivious schema (the identity is reconstructed from the
+   issuer on decode). *)
 let json_of_access (a : Access.t) =
   Json.Obj
-    [
-      ("lo", Json.Int (Interval.lo a.Access.interval));
-      ("hi", Json.Int (Interval.hi a.Access.interval));
-      ("kind", Json.String (Access_kind.to_string a.Access.kind));
-      ("issuer", Json.Int a.Access.issuer);
-      ("seq", Json.Int a.Access.seq);
-      ("debug", json_of_debug a.Access.debug);
-    ]
+    ([
+       ("lo", Json.Int (Interval.lo a.Access.interval));
+       ("hi", Json.Int (Interval.hi a.Access.interval));
+       ("kind", Json.String (Access_kind.to_string a.Access.kind));
+       ("issuer", Json.Int a.Access.issuer);
+       ("seq", Json.Int a.Access.seq);
+       ("debug", json_of_debug a.Access.debug);
+     ]
+    @
+    if Access.is_default_thread a then []
+    else
+      [
+        ("thread", Json.Int a.Access.thread.Access.tid);
+        ("thread_stamp", Json.Int a.Access.thread.Access.tstamp);
+        ( "thread_view",
+          Json.List
+            (List.map
+               (fun (c, v) -> Json.List [ Json.Int c; Json.Int v ])
+               a.Access.thread.Access.tview) );
+      ])
 
 let json_of_origin (o : Flight_recorder.origin) =
   Json.Obj
@@ -91,6 +107,21 @@ let opt_field name conv j =
 let kind_of_string s =
   List.find_opt (fun k -> String.equal (Access_kind.to_string k) s) Access_kind.all
 
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let vclock_component_of_json j =
+  match Json.to_list j with
+  | Some [ t; v ] -> (
+      match (Json.to_int t, Json.to_int v) with
+      | Some t, Some v -> Ok (t, v)
+      | _ -> Error "ill-typed vclock component")
+  | _ -> Error "ill-typed vclock component"
+
 let access_of_json j =
   let* lo = field "lo" Json.to_int j in
   let* hi = field "hi" Json.to_int j in
@@ -108,8 +139,20 @@ let access_of_json j =
   let* operation = field "operation" Json.to_str debug_json in
   if lo > hi then Error (Printf.sprintf "bad interval [%d...%d]" lo hi)
   else
+    let* thread =
+      match Json.member "thread" j with
+      | None | Some Json.Null -> Ok (Access.default_thread ~issuer)
+      | Some tid_json -> (
+          match Json.to_int tid_json with
+          | None -> Error "ill-typed field \"thread\""
+          | Some tid ->
+              let* tstamp = field "thread_stamp" Json.to_int j in
+              let* view = field "thread_view" Json.to_list j in
+              let* tview = map_result vclock_component_of_json view in
+              Ok { Access.tid; tstamp; tview })
+    in
     Ok
-      (Access.make ~interval:(Interval.make ~lo ~hi) ~kind ~issuer ~seq
+      (Access.make_threaded ~thread ~interval:(Interval.make ~lo ~hi) ~kind ~issuer ~seq
          ~debug:(Debug_info.make ~file ~line ~operation))
 
 let origin_of_json j =
@@ -117,21 +160,6 @@ let origin_of_json j =
   let* access = access_of_json access_json in
   let* epoch = field "epoch" Json.to_int j in
   Ok { Flight_recorder.access; epoch }
-
-let rec map_result f = function
-  | [] -> Ok []
-  | x :: rest ->
-      let* y = f x in
-      let* ys = map_result f rest in
-      Ok (y :: ys)
-
-let vclock_component_of_json j =
-  match Json.to_list j with
-  | Some [ t; v ] -> (
-      match (Json.to_int t, Json.to_int v) with
-      | Some t, Some v -> Ok (t, v)
-      | _ -> Error "ill-typed vclock component")
-  | _ -> Error "ill-typed vclock component"
 
 let report_of_json j =
   let* id = field "id" Json.to_int j in
@@ -221,10 +249,12 @@ let sarif_location ?message (d : Debug_info.t) =
 let sarif_result (r : Report.t) =
   let p = r.Report.provenance in
   let side_message role (a : Access.t) =
-    Printf.sprintf "%s %s access %s by rank %d" role
+    Printf.sprintf "%s %s access %s by rank %d%s" role
       (Access_kind.to_string a.Access.kind)
       (Interval.to_string a.Access.interval)
       a.Access.issuer
+      (if a.Access.thread.Access.tid = 0 then ""
+       else Printf.sprintf " (thread %d)" a.Access.thread.Access.tid)
   in
   (* Primary location: the incoming statement. Every other contributing
      source location — the existing side plus all flight-recorder

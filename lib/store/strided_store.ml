@@ -9,6 +9,7 @@ type region = {
   issuer : int;
   seq : int;
   debug : Debug_info.t;
+  tinfo : Access.thread_info;
 }
 
 let region_hull r = Interval.make ~lo:r.base ~hi:(r.base + ((r.count - 1) * r.stride) + r.len - 1)
@@ -41,14 +42,16 @@ let region_of_access (a : Access.t) =
     issuer = a.Access.issuer;
     seq = a.Access.seq;
     debug = a.Access.debug;
+    tinfo = a.Access.thread;
   }
 
 let access_of_region r =
-  Access.make ~interval:(region_hull r) ~kind:r.kind ~issuer:r.issuer ~seq:r.seq ~debug:r.debug
+  Access.make_threaded ~thread:r.tinfo ~interval:(region_hull r) ~kind:r.kind ~issuer:r.issuer
+    ~seq:r.seq ~debug:r.debug
 
 let element_accesses r =
   List.init r.count (fun k ->
-      Access.make
+      Access.make_threaded ~thread:r.tinfo
         ~interval:(Interval.of_range ~addr:(r.base + (k * r.stride)) ~len:r.len)
         ~kind:r.kind ~issuer:r.issuer ~seq:r.seq ~debug:r.debug)
 
@@ -62,6 +65,7 @@ module Tree = Interval_tree.Make (struct
     a.base = b.base && a.len = b.len && a.stride = b.stride && a.count = b.count
     && Access_kind.equal a.kind b.kind && a.issuer = b.issuer && a.seq = b.seq
     && Debug_info.equal a.debug b.debug
+    && Access.thread_equal a.tinfo b.tinfo
 
   let pp fmt r =
     Format.fprintf fmt "(base %d, len %d, stride %d, count %d, %a, rank %d, %a)" r.base r.len
@@ -111,6 +115,7 @@ let spill t g =
 let coarsen t g =
   let continuation a b =
     Access_kind.equal a.kind b.kind && a.issuer = b.issuer && a.len = b.len
+    && Access.thread_equal a.tinfo b.tinfo
     && (a.stride = b.stride || b.count = 1)
     && b.base = a.base + (a.count * a.stride)
   in
@@ -156,6 +161,7 @@ let extendable r (a : Access.t) =
   && Access_kind.equal a.Access.kind r.kind
   && a.Access.issuer = r.issuer
   && Debug_info.equal a.Access.debug r.debug
+  && Access.thread_equal a.Access.thread r.tinfo
 
 (* Where the access would land as the region's next element: count = 1
    regions accept any position after the element (fixing the stride);

@@ -34,6 +34,10 @@ type region = {
   issuer : int;
   seq : int;
   debug : Debug_info.t;
+  tinfo : Access.thread_info;
+      (** Issuing-thread identity, shared by every element; extension and
+          coarsening require it equal so compaction never erases the
+          evidence the hybrid program-order test needs. *)
 }
 
 val region_hull : region -> Interval.t

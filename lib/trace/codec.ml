@@ -76,22 +76,37 @@ let encode_event event =
   | Event.Access a ->
       let acc = a.Event.access in
       join
-        [
-          "A";
-          string_of_int a.Event.space;
-          kind_str acc.Access.kind;
-          string_of_int (Interval.lo acc.Access.interval);
-          string_of_int (Interval.hi acc.Access.interval);
-          string_of_int acc.Access.issuer;
-          string_of_int acc.Access.seq;
-          opt_int a.Event.win;
-          bool_str a.Event.relevant;
-          bool_str a.Event.on_stack;
-          Printf.sprintf "%.9f" a.Event.sim_time;
-          escape acc.Access.debug.Debug_info.file;
-          string_of_int acc.Access.debug.Debug_info.line;
-          escape acc.Access.debug.Debug_info.operation;
-        ]
+        ([
+           "A";
+           string_of_int a.Event.space;
+           kind_str acc.Access.kind;
+           string_of_int (Interval.lo acc.Access.interval);
+           string_of_int (Interval.hi acc.Access.interval);
+           string_of_int acc.Access.issuer;
+           string_of_int acc.Access.seq;
+           opt_int a.Event.win;
+           bool_str a.Event.relevant;
+           bool_str a.Event.on_stack;
+           Printf.sprintf "%.9f" a.Event.sim_time;
+           escape acc.Access.debug.Debug_info.file;
+           string_of_int acc.Access.debug.Debug_info.line;
+           escape acc.Access.debug.Debug_info.operation;
+         ]
+        @
+        (* Trailing thread fields, present only for a non-default issuing
+           thread: tid, own stamp, and the thread-view as comma-separated
+           component:value pairs. Single-thread traces keep the 14-field
+           arity and stay byte-identical. *)
+        if Access.is_default_thread acc then []
+        else
+          [
+            string_of_int acc.Access.thread.Access.tid;
+            string_of_int acc.Access.thread.Access.tstamp;
+            String.concat ","
+              (List.map
+                 (fun (c, v) -> Printf.sprintf "%d:%d" c v)
+                 acc.Access.thread.Access.tview);
+          ])
   | Event.Collective { kind; rank; sim_time } ->
       join
         [
@@ -132,9 +147,27 @@ let bool_field = function
   | "0" -> Ok false
   | s -> Error ("bad bool " ^ s)
 
+let tview_field s =
+  let pair p =
+    match String.split_on_char ':' p with
+    | [ c; v ] -> (
+        match (int_of_string_opt c, int_of_string_opt v) with
+        | Some c, Some v -> Ok (c, v)
+        | _ -> Error ("bad thread-view pair " ^ p))
+    | _ -> Error ("bad thread-view pair " ^ p)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest ->
+        let* cv = pair p in
+        go (cv :: acc) rest
+  in
+  if s = "" then Ok [] else go [] (String.split_on_char ',' s)
+
 let decode_event_exn line =
   match String.split_on_char '\t' line with
-  | [ "A"; space; kind; lo; hi; issuer; seq; win; relevant; on_stack; time; file; lnum; op ] ->
+  | "A" :: space :: kind :: lo :: hi :: issuer :: seq :: win :: relevant :: on_stack :: time
+    :: file :: lnum :: op :: thread_fields ->
       let* space = int_field space in
       let* kind = kind_of_str kind in
       let* lo = int_field lo in
@@ -151,8 +184,18 @@ let decode_event_exn line =
         let debug =
           Debug_info.make ~file:(unescape file) ~line:line_number ~operation:(unescape op)
         in
+        let* thread =
+          match thread_fields with
+          | [] -> Ok (Access.default_thread ~issuer)
+          | [ tid; tstamp; tview ] ->
+              let* tid = int_field tid in
+              let* tstamp = int_field tstamp in
+              let* tview = tview_field tview in
+              Ok { Access.tid; tstamp; tview }
+          | _ -> Error "malformed thread fields on access record"
+        in
         let access =
-          Access.make ~interval:(Interval.make ~lo ~hi) ~kind ~issuer ~seq ~debug
+          Access.make_threaded ~thread ~interval:(Interval.make ~lo ~hi) ~kind ~issuer ~seq ~debug
         in
         Ok (Event.Access { Event.space; access; win; relevant; on_stack; sim_time })
       end

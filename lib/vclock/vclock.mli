@@ -39,6 +39,23 @@ val happens_before : t -> t -> bool
 
 val concurrent : t -> t -> bool
 
+val threads_per_rank : int
+(** Upper bound on intra-rank thread ids accepted by {!rt_key}. *)
+
+val rt_key : rank:int -> thread:int -> int
+(** Component id for intra-rank thread [thread] of [rank]. Thread 0 maps
+    to the plain rank id (so a single-threaded clock is exactly the
+    rank-indexed clock used everywhere else); spawned threads map to
+    negative keys disjoint from both rank ids and the virtual ids
+    MUST-RMA allocates above [nprocs]. Raises [Invalid_argument] outside
+    [0, threads_per_rank). *)
+
+val rt_rank : int -> int
+(** Rank of a component id produced by {!rt_key}. *)
+
+val rt_thread : int -> int
+(** Thread of a component id produced by {!rt_key} (0 for rank ids). *)
+
 type stamp = { thread : int; epoch : int }
 (** Identity of a single event: the thread it ran on and that thread's
     clock value when it ran. *)

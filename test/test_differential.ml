@@ -324,3 +324,81 @@ let suite =
     QCheck_alcotest.to_alcotest prop_legacy_agreement;
     QCheck_alcotest.to_alcotest prop_analyzer_jobs_deterministic;
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Interleaving determinism (PR 8): the hybrid kernels under a swept    *)
+(* interleave seed.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Scenario = Rma_microbench.Scenario
+module Runner = Rma_microbench.Runner
+
+let hybrid_verdict ~interleave_seed ~jobs ~batch (k : Scenario.Kernel.t) =
+  let tool =
+    Rma_analysis.Rma_analyzer.create ~nprocs:k.Scenario.Kernel.k_nprocs
+      ~mode:Rma_analysis.Tool.Collect ~batch_inserts:batch ~jobs
+      Rma_analysis.Rma_analyzer.Contribution
+  in
+  let v = Runner.run_kernel ~interleave_seed ~tool k in
+  let reports = v.Runner.k_reports in
+  ( v.Runner.k_flagged,
+    Rma_report.Race_export.verdict_digest reports,
+    Rma_util.Json.to_string (Rma_report.Race_export.to_json ~generator:"diff" reports) )
+
+(* Same interleave seed => byte-identical verdicts, digests and JSON
+   exports whether the analyzer shards across 1, 2 or 4 workers and
+   whether inserts are batched. *)
+let test_interleave_determinism_across_jobs () =
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      List.iter
+        (fun interleave_seed ->
+          let reference = hybrid_verdict ~interleave_seed ~jobs:1 ~batch:false k in
+          List.iter
+            (fun (jobs, batch) ->
+              let flagged_r, digest_r, json_r = reference in
+              let flagged, digest, json = hybrid_verdict ~interleave_seed ~jobs ~batch k in
+              let label =
+                Printf.sprintf "%s interleave=%d jobs=%d batch=%b" k.Scenario.Kernel.k_name
+                  interleave_seed jobs batch
+              in
+              Alcotest.(check bool) (label ^ " flagged") flagged_r flagged;
+              Alcotest.(check string) (label ^ " digest") digest_r digest;
+              Alcotest.(check string) (label ^ " json") json_r json)
+            [ (2, false); (4, false); (4, true) ])
+        [ 13; 29 ])
+    Scenario.Kernel.hybrid
+
+(* Ground-truth labels survive a 50-seed interleaving sweep: no hybrid
+   kernel's verdict depends on the schedule. *)
+let test_interleave_label_stable_across_seeds () =
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      for interleave_seed = 1 to 50 do
+        let flagged, _, _ = hybrid_verdict ~interleave_seed ~jobs:1 ~batch:true k in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s interleave=%d" k.Scenario.Kernel.k_name interleave_seed)
+          k.Scenario.Kernel.k_racy flagged
+      done)
+    Scenario.Kernel.hybrid
+
+(* A decoupled interleave seed must not change data-level behaviour for
+   thread-free programs: the whole pre-hybrid corpus keeps its verdict
+   under an aggressive schedule shuffle. *)
+let test_interleave_preserves_single_thread_verdicts () =
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      let reference, _, _ = hybrid_verdict ~interleave_seed:13 ~jobs:1 ~batch:false k in
+      Alcotest.(check bool) k.Scenario.Kernel.k_name k.Scenario.Kernel.k_racy reference)
+    Scenario.Kernel.all
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "interleave: same seed byte-identical across jobs" `Slow
+        test_interleave_determinism_across_jobs;
+      Alcotest.test_case "interleave: hybrid labels stable over 50 seeds" `Slow
+        test_interleave_label_stable_across_seeds;
+      Alcotest.test_case "interleave: single-thread kernels keep verdicts" `Slow
+        test_interleave_preserves_single_thread_verdicts;
+    ]

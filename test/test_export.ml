@@ -406,3 +406,113 @@ let suite =
     Alcotest.test_case "compare: missing baseline experiment is a clear failure" `Quick
       test_compare_fails_on_missing_baseline_experiment;
   ]
+
+(* --- Hybrid thread fields in race exports (PR 8) --- *)
+
+let read_golden path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Back-compat pin: a single-thread race export must not contain thread
+   fields anywhere — byte-identical to the schema-v2 shape the pre-hybrid
+   tool wrote. *)
+let test_single_thread_json_has_no_thread_fields () =
+  let reports = with_recorder code1_race_reports in
+  Alcotest.(check bool) "have reports" true (reports <> []);
+  let json = Json.to_string (Race_export.to_json ~generator:"test" reports) in
+  Alcotest.(check bool) "no thread field in single-thread export" false
+    (Astring.String.is_infix ~affix:"thread" json);
+  let sarif = Json.to_string (Race_export.to_sarif ~generator:"test" reports) in
+  Alcotest.(check bool) "no thread field in single-thread SARIF" false
+    (Astring.String.is_infix ~affix:"thread" sarif)
+
+(* A report whose accesses carry a real thread identity round-trips it
+   exactly through the JSON codec. *)
+let test_threaded_json_round_trip () =
+  let thread =
+    { Access.tid = 2; tstamp = 3; tview = [ (0, 3); (-1024, 1); (-1026, 3) ] }
+  in
+  let threaded seq line op lo hi kind =
+    Access.make_threaded ~thread
+      ~interval:(Interval.make ~lo ~hi)
+      ~kind ~issuer:0 ~seq
+      ~debug:(Debug_info.make ~file:"hyb.c" ~line ~operation:op)
+  in
+  let r =
+    Report.make ~tool:"contribution" ~space:0 ~win:(Some 0)
+      ~existing:(threaded 1 4 "Store" 2 9 Access_kind.Local_write)
+      ~incoming:(mk_access ~seq:2 ~line:5 ~op:"MPI_Put" 2 9 Access_kind.Rma_read)
+      ~sim_time:1.0 ()
+  in
+  let json = Race_export.to_json ~generator:"test" [ r ] in
+  Alcotest.(check bool) "thread fields present" true
+    (Astring.String.is_infix ~affix:"thread_view" (Json.to_string json));
+  match Race_export.of_json json with
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+  | Ok [ loaded ] ->
+      Alcotest.(check bool) "existing round-trips with thread" true
+        (Access.equal r.Report.existing loaded.Report.existing);
+      Alcotest.(check bool) "incoming round-trips default thread" true
+        (Access.equal r.Report.incoming loaded.Report.incoming);
+      Alcotest.(check string) "byte-identical re-export"
+        (Json.to_string json)
+        (Json.to_string (Race_export.to_json ~generator:"test" [ loaded ]))
+  | Ok l -> Alcotest.failf "expected 1 report, got %d" (List.length l)
+
+(* End-to-end golden: the canonical unordered-sibling-store hybrid race
+   exported as JSON. GOLDEN_OUT_HYBRID=/abs/path regenerates. *)
+let hybrid_race_reports () =
+  let k =
+    match
+      Rma_microbench.Scenario.Kernel.find "hyb_lockall_local_tstore_put_unordered_race"
+    with
+    | Some k -> k
+    | None -> Alcotest.fail "hybrid kernel missing"
+  in
+  let tool =
+    Rma_analyzer.create ~nprocs:k.Rma_microbench.Scenario.Kernel.k_nprocs ~mode:Tool.Collect
+      Rma_analyzer.Contribution
+  in
+  let v = Rma_microbench.Runner.run_kernel ~interleave_seed:13 ~tool k in
+  v.Rma_microbench.Runner.k_reports
+
+let test_hybrid_json_matches_golden () =
+  let reports = with_recorder hybrid_race_reports in
+  Alcotest.(check bool) "hybrid race found" true (reports <> []);
+  let json = Json.to_string (Race_export.to_json ~generator:"test" reports) ^ "\n" in
+  match Sys.getenv_opt "GOLDEN_OUT_HYBRID" with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json)
+  | None ->
+      Alcotest.(check string) "hybrid race JSON matches golden file"
+        (read_golden "golden/race_hybrid.json") json
+
+let test_explain_names_thread () =
+  let reports = with_recorder hybrid_race_reports in
+  let threaded =
+    List.filter
+      (fun (r : Report.t) ->
+        r.Report.existing.Access.thread.Access.tid <> 0
+        || r.Report.incoming.Access.thread.Access.tid <> 0)
+      reports
+  in
+  Alcotest.(check bool) "a report involves a spawned thread" true (threaded <> []);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "explain mentions the thread" true
+        (Astring.String.is_infix ~affix:"thread 1" (Race_export.explain r)))
+    threaded
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "single-thread exports carry no thread fields" `Quick
+        test_single_thread_json_has_no_thread_fields;
+      Alcotest.test_case "threaded race JSON round-trips" `Quick test_threaded_json_round_trip;
+      Alcotest.test_case "hybrid race JSON matches the golden file" `Quick
+        test_hybrid_json_matches_golden;
+      Alcotest.test_case "explain names the racing thread" `Quick test_explain_names_thread;
+    ]

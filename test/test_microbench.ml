@@ -280,3 +280,106 @@ let suite =
       Alcotest.test_case "kernel verdicts stable across seeds" `Slow
         test_kernel_verdicts_stable_across_seeds;
     ]
+
+(* --- Hybrid MPI+threads kernels (PR 8) --- *)
+
+let hybrid_tool ~nprocs ~batch ~jobs () =
+  Rma_analyzer.create ~nprocs ~mode:Tool.Collect ~batch_inserts:batch ~jobs
+    Rma_analyzer.Contribution
+
+let test_hybrid_corpus_shape () =
+  let kernels = Scenario.Kernel.hybrid in
+  Alcotest.(check bool) "at least 12 hybrid kernels" true (List.length kernels >= 12);
+  let names = List.map (fun k -> k.Scenario.Kernel.k_name) kernels in
+  Alcotest.(check int) "hybrid names unique" (List.length names)
+    (List.length (List.sort_uniq String.compare names));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " has hyb_ prefix") true
+        (String.length n > 4 && String.sub n 0 4 = "hyb_");
+      Alcotest.(check bool) (n ^ " findable") true (Scenario.Kernel.find n <> None))
+    names;
+  let open Scenario.Kernel in
+  let has pred = List.exists pred kernels in
+  Alcotest.(check bool) "has racy hybrid kernels" true (has (fun k -> k.k_racy));
+  Alcotest.(check bool) "has safe hybrid kernels" true (has (fun k -> not k.k_racy));
+  Alcotest.(check bool) "has fence sync" true (has (fun k -> k.k_sync = Fence));
+  Alcotest.(check bool) "has lock_all sync" true (has (fun k -> k.k_sync = Lock_all));
+  Alcotest.(check bool) "has local-buffer conflicts" true
+    (has (fun k -> k.k_locality = Local_buffer))
+
+let test_hybrid_kernels_spawn_threads () =
+  (* Every hybrid kernel genuinely exercises the thread layer. *)
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      let r =
+        Mpi_sim.Runtime.run ~nprocs:k.Scenario.Kernel.k_nprocs ~seed:11
+          k.Scenario.Kernel.k_program
+      in
+      Alcotest.(check bool)
+        (k.Scenario.Kernel.k_name ^ " spawns a thread")
+        true
+        (r.Mpi_sim.Runtime.threads_spawned > 0))
+    Scenario.Kernel.hybrid
+
+(* The table-driven hybrid label check: ground truth must hold batched
+   and unbatched, sequential and sharded, for each CI interleaving
+   seed. *)
+let test_hybrid_labels () =
+  List.iter
+    (fun (k : Scenario.Kernel.t) ->
+      List.iter
+        (fun interleave_seed ->
+          List.iter
+            (fun (batch, jobs) ->
+              let tool = hybrid_tool ~nprocs:k.Scenario.Kernel.k_nprocs ~batch ~jobs () in
+              let v = Runner.run_kernel ?interleave_seed ~tool k in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s (batch=%b jobs=%d interleave=%s)" k.Scenario.Kernel.k_name
+                   batch jobs
+                   (match interleave_seed with None -> "-" | Some i -> string_of_int i))
+                k.Scenario.Kernel.k_racy v.Runner.k_flagged)
+            [ (false, 1); (true, 1); (false, 4); (true, 4) ])
+        [ None; Some 13; Some 29 ])
+    Scenario.Kernel.hybrid
+
+let test_hybrid_race_reports_name_threads () =
+  (* A hybrid race whose incoming side is a spawned thread's access must
+     say so in the export pipeline's inputs. *)
+  match Scenario.Kernel.find "hyb_lockall_local_tstore_put_unordered_race" with
+  | None -> Alcotest.fail "missing hybrid kernel"
+  | Some k ->
+      let tool = hybrid_tool ~nprocs:k.Scenario.Kernel.k_nprocs ~batch:false ~jobs:1 () in
+      let v = Runner.run_kernel ~tool k in
+      Alcotest.(check bool) "flagged" true v.Runner.k_flagged;
+      let names_thread (r : Report.t) =
+        r.Report.existing.Rma_access.Access.thread.Rma_access.Access.tid <> 0
+        || r.Report.incoming.Rma_access.Access.thread.Rma_access.Access.tid <> 0
+      in
+      Alcotest.(check bool) "some report carries a nonzero thread id" true
+        (List.exists names_thread v.Runner.k_reports);
+      List.iter
+        (fun (r : Report.t) ->
+          if names_thread r
+             && r.Report.existing.Rma_access.Access.issuer
+                = r.Report.incoming.Rma_access.Access.issuer
+          then begin
+            let cell = Report.matrix_cell r in
+            let suffix = "(same process, different threads)" in
+            let n = String.length cell and m = String.length suffix in
+            Alcotest.(check bool)
+              (Printf.sprintf "matrix cell %S names the threads" cell)
+              true
+              (n >= m && String.sub cell (n - m) m = suffix)
+          end)
+        v.Runner.k_reports
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "hybrid corpus shape" `Quick test_hybrid_corpus_shape;
+      Alcotest.test_case "hybrid kernels spawn threads" `Quick test_hybrid_kernels_spawn_threads;
+      Alcotest.test_case "hybrid labels (batch x jobs x interleave)" `Slow test_hybrid_labels;
+      Alcotest.test_case "hybrid race reports name threads" `Quick
+        test_hybrid_race_reports_name_threads;
+    ]

@@ -212,3 +212,96 @@ let suite =
       test_post_mortem_enumerates_all_pairs;
     Alcotest.test_case "post-mortem suite is complete" `Slow test_post_mortem_suite_is_complete;
   ]
+
+(* --- Hybrid thread fields on access records (PR 8) --- *)
+
+let hybrid_sample_events () =
+  let recorder = Recorder.create () in
+  let _ =
+    Runtime.run ~nprocs:2 ~seed:4 ~config:Config.quiet_network
+      ~observer:(Recorder.observer recorder) (fun () ->
+        let rank = Mpi.comm_rank () in
+        let base = Mpi.alloc ~exposed:true 16 in
+        let win = Mpi.win_create ~base ~size:16 in
+        Mpi.win_lock_all win;
+        if rank = 0 then begin
+          let t =
+            Mpi.thread_spawn (fun () ->
+                ignore (Mpi.load ~loc:(Mpi.loc ~file:"hyb.c" ~line:7 "Load") ~addr:base ~len:8 ()))
+          in
+          Mpi.thread_join t
+        end;
+        Mpi.win_unlock_all win;
+        Mpi.win_free win)
+  in
+  Recorder.events recorder
+
+let test_codec_roundtrip_thread_fields () =
+  let events = hybrid_sample_events () in
+  let threaded =
+    List.filter
+      (fun e ->
+        match e with
+        | Event.Access a -> a.Event.access.Rma_access.Access.thread.Rma_access.Access.tid <> 0
+        | _ -> false)
+      events
+  in
+  Alcotest.(check bool) "run produced thread-issued accesses" true (threaded <> []);
+  List.iter
+    (fun e ->
+      match Codec.decode_event (Codec.encode_event e) with
+      | Ok d ->
+          Alcotest.(check string) "thread-field roundtrip" (Codec.encode_event e)
+            (Codec.encode_event d);
+          (match (e, d) with
+          | Event.Access a, Event.Access b ->
+              Alcotest.(check bool) "decoded access equal" true
+                (Rma_access.Access.equal a.Event.access b.Event.access)
+          | _ -> ())
+      | Error msg -> Alcotest.failf "decode failed: %s" msg)
+    events
+
+let test_codec_single_thread_arity_unchanged () =
+  (* Thread-free runs must keep the 14-field A-record arity so existing
+     trace files (and their consumers) are byte-stable. *)
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Access _ ->
+          let line = Codec.encode_event e in
+          Alcotest.(check int)
+            ("14 fields: " ^ line)
+            14
+            (List.length (String.split_on_char '\t' line))
+      | _ -> ())
+    (sample_events ());
+  (* And thread-issued accesses carry exactly three extra fields. *)
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Access a when a.Event.access.Rma_access.Access.thread.Rma_access.Access.tid <> 0 ->
+          let line = Codec.encode_event e in
+          Alcotest.(check int)
+            ("17 fields: " ^ line)
+            17
+            (List.length (String.split_on_char '\t' line))
+      | _ -> ())
+    (hybrid_sample_events ())
+
+let test_codec_rejects_bad_thread_fields () =
+  Alcotest.(check bool) "partial thread fields rejected" true
+    (Result.is_error
+       (Codec.decode_event "A\t0\tLR\t3\t9\t0\t1\t-\t1\t0\t0.0\tf.c\t1\top\t1"));
+  Alcotest.(check bool) "bad thread view rejected" true
+    (Result.is_error
+       (Codec.decode_event "A\t0\tLR\t3\t9\t0\t1\t-\t1\t0\t0.0\tf.c\t1\top\t1\t1\tnot-a-pair"))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "codec roundtrips thread fields" `Quick test_codec_roundtrip_thread_fields;
+      Alcotest.test_case "codec arity: 14 plain / 17 threaded" `Quick
+        test_codec_single_thread_arity_unchanged;
+      Alcotest.test_case "codec rejects malformed thread fields" `Quick
+        test_codec_rejects_bad_thread_fields;
+    ]

@@ -101,3 +101,111 @@ let suite =
     QCheck_alcotest.to_alcotest prop_hb_irreflexive_antisymmetric;
     QCheck_alcotest.to_alcotest prop_exactly_one_relation;
   ]
+
+(* --- Rank x thread component keys and per-thread clocks (PR 8) --- *)
+
+let test_rt_key_encoding () =
+  (* Thread 0 is the plain rank id, so pre-hybrid clocks are unchanged. *)
+  for rank = 0 to 5 do
+    Alcotest.(check int) "thread 0 is the rank" rank (Vclock.rt_key ~rank ~thread:0)
+  done;
+  (* Round-trip for a spread of rank/thread pairs. *)
+  List.iter
+    (fun (rank, thread) ->
+      let key = Vclock.rt_key ~rank ~thread in
+      Alcotest.(check int) "rank round-trips" rank (Vclock.rt_rank key);
+      Alcotest.(check int) "thread round-trips" thread (Vclock.rt_thread key);
+      if thread > 0 then
+        Alcotest.(check bool) "nonzero threads use negative keys" true (key < 0))
+    [ (0, 0); (0, 1); (3, 0); (3, 7); (17, 1023); (1023, 1) ];
+  (* Out-of-range thread ids are rejected, not silently aliased. *)
+  Alcotest.check_raises "thread out of range"
+    (Invalid_argument
+       (Printf.sprintf "Vclock.rt_key: thread %d outside [0, %d)" Vclock.threads_per_rank
+          Vclock.threads_per_rank))
+    (fun () -> ignore (Vclock.rt_key ~rank:0 ~thread:Vclock.threads_per_rank))
+
+let test_rt_key_injective () =
+  (* No two (rank, thread) pairs share a key, and no thread>0 key ever
+     collides with a plain rank id or a MUST-RMA virtual id (both are
+     non-negative). *)
+  let seen = Hashtbl.create 256 in
+  for rank = 0 to 15 do
+    for thread = 0 to 15 do
+      let key = Vclock.rt_key ~rank ~thread in
+      (match Hashtbl.find_opt seen key with
+      | Some other ->
+          Alcotest.failf "key %d collides: (%d,%d) and %s" key rank thread other
+      | None -> ());
+      Hashtbl.replace seen key (Printf.sprintf "(%d,%d)" rank thread)
+    done
+  done
+
+(* Clocks over mixed rank-and-thread component keys. *)
+let rt_clock_gen =
+  QCheck.Gen.(
+    let* entries =
+      list_size (int_range 0 6)
+        (triple (int_range 0 4) (int_range 0 3) (int_range 1 5))
+    in
+    return
+      (List.fold_left
+         (fun c (rank, thread, v) ->
+           let key = Vclock.rt_key ~rank ~thread in
+           Vclock.set c key (max v (Vclock.get c key)))
+         Vclock.empty entries))
+
+let arb_rt_clock = QCheck.make ~print:(fun c -> Format.asprintf "%a" Vclock.pp c) rt_clock_gen
+
+let prop_rt_join_commutative =
+  QCheck.Test.make ~name:"thread-keyed join commutative" ~count:300
+    (QCheck.pair arb_rt_clock arb_rt_clock)
+    (fun (a, b) -> Vclock.equal (Vclock.merge a b) (Vclock.merge b a))
+
+let prop_rt_join_associative =
+  QCheck.Test.make ~name:"thread-keyed join associative" ~count:300
+    (QCheck.triple arb_rt_clock arb_rt_clock arb_rt_clock)
+    (fun (a, b, c) ->
+      Vclock.equal (Vclock.merge a (Vclock.merge b c)) (Vclock.merge (Vclock.merge a b) c))
+
+let prop_rt_join_idempotent =
+  QCheck.Test.make ~name:"thread-keyed join idempotent" ~count:300 arb_rt_clock (fun a ->
+      Vclock.equal (Vclock.merge a a) a)
+
+let prop_rt_hb_antisymmetric =
+  QCheck.Test.make ~name:"thread-keyed happens_before antisymmetric" ~count:300
+    (QCheck.pair arb_rt_clock arb_rt_clock)
+    (fun (a, b) ->
+      (not (Vclock.happens_before a a))
+      && not (Vclock.happens_before a b && Vclock.happens_before b a))
+
+let prop_rt_components_roundtrip =
+  QCheck.Test.make ~name:"components round-trip thread keys" ~count:300 arb_rt_clock (fun a ->
+      let comps = Vclock.components a in
+      Vclock.equal a (Vclock.of_components comps)
+      && List.for_all
+           (fun (key, v) ->
+             v > 0
+             && Vclock.rt_key ~rank:(Vclock.rt_rank key) ~thread:(Vclock.rt_thread key) = key)
+           comps)
+
+let prop_rt_tick_monotone =
+  QCheck.Test.make ~name:"tick on a thread key is strictly monotone" ~count:300
+    (QCheck.triple arb_rt_clock (QCheck.int_range 0 4) (QCheck.int_range 0 3))
+    (fun (a, rank, thread) ->
+      let key = Vclock.rt_key ~rank ~thread in
+      let t = Vclock.tick a key in
+      Vclock.leq a t && Vclock.happens_before a t && Vclock.get t key = Vclock.get a key + 1)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "rt_key encoding round-trips" `Quick test_rt_key_encoding;
+      Alcotest.test_case "rt_key injective, disjoint from rank ids" `Quick test_rt_key_injective;
+      QCheck_alcotest.to_alcotest prop_rt_join_commutative;
+      QCheck_alcotest.to_alcotest prop_rt_join_associative;
+      QCheck_alcotest.to_alcotest prop_rt_join_idempotent;
+      QCheck_alcotest.to_alcotest prop_rt_hb_antisymmetric;
+      QCheck_alcotest.to_alcotest prop_rt_components_roundtrip;
+      QCheck_alcotest.to_alcotest prop_rt_tick_monotone;
+    ]
