@@ -372,6 +372,67 @@ let run_hybrid () =
     ("hybrid_wall_seconds", wall);
   ]
 
+(* Predictive-mode overhead and yield: the full labeled kernel corpus
+   (base + hybrid + prd) under the observed-only analyzer and again with
+   --predictive, same seeds. The headline number is the wall-time ratio —
+   the weak-order bookkeeping must stay under 2x the observed-only
+   analysis — plus the extra races predictive mode surfaces at a
+   schedule where the observed analysis misses them. *)
+let run_predictive () =
+  section "Predictive mode (weak-order analysis)";
+  let module Scenario = Rma_microbench.Scenario in
+  let module Runner = Rma_microbench.Runner in
+  let kernels = Scenario.Kernel.all @ Scenario.Kernel.hybrid @ Scenario.Kernel.predictive in
+  let interleaves = [ 0; 13 ] in
+  let sweep ~predictive =
+    let t0 = Rma_util.Timer.now () in
+    let predicted = ref 0 and observed = ref 0 in
+    List.iter
+      (fun (k : Scenario.Kernel.t) ->
+        List.iter
+          (fun interleave_seed ->
+            let tool =
+              Rma_analysis.Rma_analyzer.create ~nprocs:k.Scenario.Kernel.k_nprocs
+                ~mode:Rma_analysis.Tool.Collect ~predictive
+                Rma_analysis.Rma_analyzer.Contribution
+            in
+            let v = Runner.run_kernel ~interleave_seed ~tool k in
+            List.iter
+              (fun p ->
+                if p.Runner.pair_predicted then incr predicted else incr observed)
+              v.Runner.k_pairs)
+          interleaves)
+      kernels;
+    (Rma_util.Timer.now () -. t0, !observed, !predicted)
+  in
+  (* The corpus is a ~30 ms workload, so one major GC slice inherited
+     from an earlier experiment can double a single reading: warm up
+     once, then take the best of three sweeps per mode. *)
+  ignore (sweep ~predictive:false);
+  ignore (sweep ~predictive:true);
+  let best ~predictive =
+    let runs = List.init 3 (fun _ -> sweep ~predictive) in
+    List.fold_left
+      (fun (bw, o, p) (w, o', p') -> if w < bw then (w, o', p') else (bw, o, p))
+      (List.hd runs) (List.tl runs)
+  in
+  let obs_wall, obs_races, _ = best ~predictive:false in
+  let prd_wall, prd_observed, prd_predicted = best ~predictive:true in
+  let overhead = if obs_wall > 0.0 then prd_wall /. obs_wall else Float.nan in
+  Printf.printf
+    "%d kernels x %d interleaves: observed-only %d races in %.3f s; predictive %d observed + \
+     %d predicted in %.3f s (overhead x%.2f)\n"
+    (List.length kernels) (List.length interleaves) obs_races obs_wall prd_observed
+    prd_predicted prd_wall overhead;
+  [
+    ("predictive_kernels", float_of_int (List.length kernels));
+    ("predictive_observed_races", float_of_int prd_observed);
+    ("predictive_predicted_races", float_of_int prd_predicted);
+    ("predictive_observed_wall_seconds", obs_wall);
+    ("predictive_wall_seconds", prd_wall);
+    ("predictive_overhead_ratio", overhead);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -516,17 +577,18 @@ let () =
     | "fastpath" -> run_fastpath ()
     | "micro" -> run_micro ()
     | "hybrid" -> run_hybrid ()
+    | "predictive" -> run_predictive ()
     | "all" -> []
     | other ->
         Printf.eprintf
           "unknown experiment %S (expected table2 table3 table4 fig5 fig8 fig9 fig10 fig11 fig12 \
-           ablation par fastpath micro hybrid all)\n"
+           ablation par fastpath micro hybrid predictive all)\n"
           other;
         exit 2
   in
   let all_names =
     [ "table2"; "table3"; "table4"; "fig5"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
-      "ablation"; "par"; "fastpath"; "micro"; "hybrid" ]
+      "ablation"; "par"; "fastpath"; "micro"; "hybrid"; "predictive" ]
   in
   let selected = List.concat_map (function "all" -> all_names | n -> [ n ]) selected in
   (* Each experiment becomes a top-level phase span so a trace of the

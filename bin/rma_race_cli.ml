@@ -142,8 +142,19 @@ let diag_term =
              epoch, counted in degraded_drops), coarsen (merge ignoring debug info, downgraded \
              confidence in SARIF). Same as setting $(b,RMA_BUDGET).")
   in
+  let predictive =
+    Arg.(
+      value & flag
+      & info [ "predictive" ]
+          ~doc:
+            "Run the predictive (weak-order) analysis alongside the observed one: accesses \
+             unordered under MPI synchronization semantics alone — no fence or fully flushed \
+             barrier between them — are reported as schedulable races ($(b,predicted) in the \
+             JSON/SARIF exports, with a witness reordering rendered by $(b,explain)), even when \
+             the observed schedule kept them apart. Same as setting $(b,RMA_PREDICTIVE=1).")
+  in
   let mk obs_out obs_summary obs_prometheus obs_events obs_level obs_serve obs_sample races_json
-      races_sarif batch_inserts jobs fault_plan budget =
+      races_sarif batch_inserts jobs fault_plan budget predictive =
     {
       Diag.obs_out;
       obs_summary;
@@ -158,11 +169,12 @@ let diag_term =
       jobs;
       fault_plan;
       budget;
+      predictive;
     }
   in
   Term.(
     const mk $ out $ summary $ prometheus $ events $ level $ serve $ sample $ races_json
-    $ races_sarif $ batch_inserts $ jobs $ fault_plan $ budget)
+    $ races_sarif $ batch_inserts $ jobs $ fault_plan $ budget $ predictive)
 
 let generator = "rma_race"
 

@@ -1,4 +1,7 @@
-type verdict = No_race | Race of { first : Access.t; second : Access.t }
+type verdict =
+  | No_race
+  | Race of { first : Access.t; second : Access.t }
+  | Predicted of { first : Access.t; second : Access.t }
 
 let conflict_kinds_ordered ~order_aware ~program_ordered ~first ~second =
   let open Access_kind in
@@ -39,4 +42,29 @@ let check ~order_aware ~existing ~incoming =
   end
 
 let races ~order_aware ~existing ~incoming =
-  match check ~order_aware ~existing ~incoming with No_race -> false | Race _ -> true
+  match check ~order_aware ~existing ~incoming with
+  | No_race -> false
+  | Race _ | Predicted _ -> true
+
+(* The same conflict rule evaluated under the WEAK order — the order MPI
+   synchronization semantics alone guarantee, independent of the
+   schedule the run happened to take. Two refinements over [check]:
+
+   - the Figure 3 local-then-RMA exception is judged by
+     [Access.thread_ordered] exactly as in the observed rule, because
+     thread views only advance at real synchronization edges
+     (spawn/join/signal/wait), never at incidental scheduling — the
+     exception is already weak-order sound;
+
+   - conflicts whose two sides were issued by the SAME rank are excused:
+     a same-rank pair either shares a synchronization phase (in which
+     case the observed rule has already reported it) or is separated by
+     one of the rank's own completion edges (unlock/flush/fence), which
+     orders the rank's earlier operations before its later accesses
+     under every schedule. Only cross-rank conflicts are schedulable
+     races, and they surface as [Predicted]. *)
+let check_weak ~order_aware ~existing ~incoming =
+  match check ~order_aware ~existing ~incoming with
+  | No_race -> No_race
+  | Race { first; second } | Predicted { first; second } ->
+      if Access.same_issuer first second then No_race else Predicted { first; second }

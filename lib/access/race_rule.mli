@@ -12,7 +12,15 @@
     paper's contribution fixes it (§5.2). The [order_aware] flag selects
     between the two behaviours so both tools can share this module. *)
 
-type verdict = No_race | Race of { first : Access.t; second : Access.t }
+type verdict =
+  | No_race
+  | Race of { first : Access.t; second : Access.t }
+      (** Observed race: the conflict fired in the order the run took. *)
+  | Predicted of { first : Access.t; second : Access.t }
+      (** Schedulable race: the pair is unordered under MPI
+          synchronization semantics alone, so {e some} legal schedule
+          overlaps it, even if the observed run did not. Produced only
+          by {!check_weak}; {!check} never returns it. *)
 
 val conflict_kinds_ordered : order_aware:bool -> program_ordered:bool ->
   first:Access_kind.t -> second:Access_kind.t -> bool
@@ -40,3 +48,13 @@ val check : order_aware:bool -> existing:Access.t -> incoming:Access.t -> verdic
 
 val races : order_aware:bool -> existing:Access.t -> incoming:Access.t -> bool
 (** [check] collapsed to a boolean. *)
+
+val check_weak : order_aware:bool -> existing:Access.t -> incoming:Access.t -> verdict
+(** {!check} evaluated under the weak (synchronization-only) order the
+    predictive analyzer maintains. Same-rank conflicts are excused —
+    they are either already reported by the observed rule (same phase)
+    or ordered by the rank's own completion edges (unlock/flush/fence)
+    under every schedule — and the Figure 3 local-then-RMA exception is
+    preserved unchanged, because thread views advance only at real
+    synchronization edges. Cross-rank conflicts return {!Predicted};
+    never {!Race}. *)

@@ -1,6 +1,15 @@
 open Rma_access
 module Flight_recorder = Rma_store.Flight_recorder
 
+type witness = {
+  w_phase : int;
+  w_existing_clock : (int * int) list;
+  w_incoming_clock : (int * int) list;
+  w_observed_existing : (int * int) list;
+  w_observed_incoming : (int * int) list;
+  w_reorder : string;
+}
+
 type provenance = {
   id : int;
   epoch : int option;
@@ -8,6 +17,8 @@ type provenance = {
   existing_history : Flight_recorder.origin list;
   incoming_history : Flight_recorder.origin list;
   degraded : bool;
+  predicted : bool;
+  witness : witness option;
 }
 
 let empty_provenance =
@@ -18,6 +29,8 @@ let empty_provenance =
     existing_history = [];
     incoming_history = [];
     degraded = false;
+    predicted = false;
+    witness = None;
   }
 
 type t = {

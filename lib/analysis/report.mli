@@ -4,6 +4,27 @@ open Rma_access
     injection (Figure 9b), extended with machine-readable provenance for
     the JSON/SARIF exporters and the [explain] subcommand. *)
 
+type witness = {
+  w_phase : int;
+      (** Weak synchronization phase (count of fence / flushed-barrier
+          edges since the window's last true synchronization) both sides
+          fall into. *)
+  w_existing_clock : (int * int) list;
+      (** Weak-clock components at the existing side's issue point. *)
+  w_incoming_clock : (int * int) list;
+      (** Weak-clock components at the incoming side's issue point. *)
+  w_observed_existing : (int * int) list;
+      (** Observed-clock components at the same points — the schedule
+          edges that separated the pair in the run actually taken. *)
+  w_observed_incoming : (int * int) list;
+  w_reorder : string;
+      (** Human-readable witness reordering: which rank's progress must
+          be delayed (or advanced) for the two accesses to overlap. *)
+}
+(** Evidence attached to a predicted (schedulable) race: the weak-order
+    state proving the pair unordered under MPI semantics alone, plus the
+    reordering that realizes the overlap. *)
+
 type provenance = {
   id : int;
       (** Stable 1-based identifier within the producing tool's run —
@@ -29,6 +50,13 @@ type provenance = {
           the surrounding run) is weakened. Exported as downgraded
           confidence in SARIF (level [warning] plus a
           [confidence: downgraded] property). *)
+  predicted : bool;
+      (** This is a {e schedulable} race from the predictive analysis:
+          the observed run kept the two accesses apart, but no MPI
+          synchronization edge orders them, so some legal schedule
+          overlaps them. Observed races carry [false]. *)
+  witness : witness option;
+      (** Present exactly when [predicted] — the weak-order evidence. *)
 }
 
 val empty_provenance : provenance

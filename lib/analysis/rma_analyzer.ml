@@ -5,6 +5,7 @@ module Config = Mpi_sim.Config
 module Obs = Rma_obs.Obs
 module Events = Rma_obs.Events
 module Telemetry = Rma_obs.Telemetry
+module Vclock = Rma_vclock.Vclock
 
 (* Telemetry sampling rides the epoch-close path (the natural heartbeat
    of a run) but is rate-limited so epoch-dense workloads don't pay a
@@ -20,6 +21,21 @@ let sample_telemetry () =
   end
 
 type policy = Legacy | Contribution | Fragmentation_only | Order_blind | Strided_extension
+
+(* Predictive mode default: the CLI's [--predictive] flag (via
+   [set_default_predictive]) wins over the [RMA_PREDICTIVE] environment
+   variable, mirroring how batch inserts and jobs resolve theirs. *)
+let default_predictive_override = ref None
+
+let set_default_predictive b = default_predictive_override := Some b
+
+let env_predictive () =
+  match Sys.getenv_opt "RMA_PREDICTIVE" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | _ -> false
+
+let default_predictive () =
+  match !default_predictive_override with Some b -> b | None -> env_predictive ()
 
 let policy_name = function
   | Legacy -> "RMA-Analyzer"
@@ -96,7 +112,26 @@ type pending_race = {
   p_incoming : Access.t;
   p_sim_time : float;
   p_prov : Report.provenance;  (** [id = 0]; patched during the merge. *)
+  p_predicted : bool;
+      (** Fired in a weak (synchronization-only) tree: replayed through
+          the predictive classifier, not [record_race]. *)
 }
+
+(* Canonical source-site pair of a conflict, the dedup key between the
+   observed and the weak analysis: the same pair of source lines must
+   not be reported both as an observed and as a predicted race, and a
+   weak tree (which is cleared more rarely) must not re-report a pair
+   against several surviving older nodes. *)
+type site = string * int * string
+
+let site_of (a : Access.t) =
+  ( a.Access.debug.Debug_info.file,
+    a.Access.debug.Debug_info.line,
+    a.Access.debug.Debug_info.operation )
+
+let pair_key_of a b : site * site =
+  let sa = site_of a and sb = site_of b in
+  if sa <= sb then (sa, sb) else (sb, sa)
 
 (* Parallel half of the analyzer: the engine plus per-shard race
    buffers. A buffer is written only by its shard's worker domain and
@@ -106,6 +141,47 @@ type par = {
   engine : Rma_par.t;
   mutable next_tag : int;
   shard_races : pending_race list ref array;  (** Newest first, per shard. *)
+}
+
+(* Predictive half of the analyzer (DESIGN.md §15): a second set of
+   (space, window) trees sharing the store machinery but cleared only at
+   TRUE synchronization edges — fence completion, and collective
+   barriers whose outstanding one-sided traffic was flushed — never at
+   the schedule-dependent all-ranks-closed point the observed trees
+   clear at. Conflicts surviving in a weak tree are unordered under MPI
+   semantics alone: some legal schedule overlaps them ("schedulable
+   races", reported as [predicted] with a witness reordering). *)
+type predictive = {
+  weak_trees : (int * Event.win_id, tree) Hashtbl.t;
+  weak_phase : (Event.win_id, int) Hashtbl.t;
+      (* Synchronization phases of a window: bumped on every weak clear.
+         Two accesses in the same phase are weak-concurrent. *)
+  last_closed : (int, Event.win_id) Hashtbl.t;
+      (* rank -> window of the rank's most recent Epoch_closed.
+         [Collective Fence] events carry no window id, so a fence
+         arrival is attributed to the rank's last-closed window (the
+         runtime dispatches a fence batch as close-all / fence-all /
+         reopen-all, so the correlation is exact for the common
+         single-window-per-fence shape; multi-window fence programs are
+         a documented approximation). *)
+  fence_arrivals : (Event.win_id, (int, unit) Hashtbl.t) Hashtbl.t;
+      (* Distinct ranks whose fence arrival named the window; at
+         [nprocs] the fence has completed and the window's weak trees
+         clear — fence completion orders every rank's operations. *)
+  coll_arrivals : (int, unit) Hashtbl.t;
+      (* Distinct ranks inside the current Barrier/Allreduce. *)
+  unflushed : (Event.win_id * int, unit) Hashtbl.t;
+      (* (window, issuer) pairs with one-sided operations not yet
+         completed by that issuer's flush / unlock / fence. A barrier
+         orders ranks but completes nothing: it only clears a window's
+         weak trees when no rank holds unflushed traffic on it
+         (flush-then-barrier is the MiniVite-style sync idiom). *)
+  clocks : Vclock.Dual.t array;
+      (* Per-rank observed/weak clock pair, witness evidence only. *)
+  observed_pairs : (site * site, unit) Hashtbl.t;
+  predicted_pairs : (site * site, unit) Hashtbl.t;
+  mutable predicted : Report.t list;  (* newest first; ids assigned on read *)
+  mutable predicted_count : int;
 }
 
 type state = {
@@ -133,6 +209,7 @@ type state = {
          any must not reach [nprocs] on its own. *)
   mutable races : Report.t list;
   mutable race_count : int;
+  predictive : predictive option;  (** [None] = observed-only, byte for byte. *)
 }
 
 let new_store ~batch ?budget policy =
@@ -170,6 +247,9 @@ let obs_window_clears =
 
 let record_race st ~space ~win ~existing ~incoming ~sim_time ~provenance =
   let report = Report.make ~tool:st.name ~space ~win ~existing ~incoming ~sim_time ~provenance () in
+  (match st.predictive with
+  | Some p -> Hashtbl.replace p.observed_pairs (pair_key_of existing incoming) ()
+  | None -> ());
   st.race_count <- st.race_count + 1;
   Obs.incr obs_races;
   if st.race_count <= st.max_reports then st.races <- report :: st.races;
@@ -187,9 +267,9 @@ let provenance_of st tree ~existing ~incoming =
   | None -> { Report.empty_provenance with Report.id; degraded }
   | Some r ->
       {
+        Report.empty_provenance with
         Report.id;
         epoch = Some (Flight_recorder.current_epoch r);
-        vclock = None;
         existing_history = Flight_recorder.history r existing.Access.interval;
         incoming_history = Flight_recorder.history r incoming.Access.interval;
         degraded;
@@ -209,6 +289,87 @@ let worker_provenance tree ~existing ~incoming =
         incoming_history = Flight_recorder.history r incoming.Access.interval;
         degraded;
       }
+
+(* ---- Predictive (weak-order) half, DESIGN.md §15 ---- *)
+
+let obs_predicted =
+  Obs.counter ~help:"Predicted (schedulable) races recorded by the analyzer"
+    "analyzer.predicted_races"
+
+let weak_tree_for st p key =
+  match Hashtbl.find_opt p.weak_trees key with
+  | Some t -> t
+  | None ->
+      let t =
+        { store = new_store ~batch:st.batch_inserts ?budget:st.budget st.policy;
+          epoch_open = false; nodes_at_last_close = None; epoch_span = None }
+      in
+      Hashtbl.replace p.weak_trees key t;
+      t
+
+let weak_clear_window p win =
+  Hashtbl.iter (fun (_, w) t -> if w = win then store_clear t.store) p.weak_trees;
+  let phase = Option.value (Hashtbl.find_opt p.weak_phase win) ~default:0 in
+  Hashtbl.replace p.weak_phase win (phase + 1)
+
+(* A conflict surfaced by a weak tree. [Race_rule.check_weak] excuses
+   same-rank pairs (ordered by the rank's own completion edges under
+   every schedule — or already observed, since a weak tree is only
+   cleared when its observed counterpart also cleared); what survives is
+   deduplicated against the observed reports and previously predicted
+   pairs by canonical source-site pair, then recorded with a witness.
+   Predicted races never abort: the observed run did NOT take the racing
+   schedule, so there is nothing to stop. *)
+let consider_predicted st p ~space ~win ~existing ~incoming ~sim_time ~prov_base =
+  let order_aware =
+    match st.policy with Legacy | Order_blind -> false | _ -> true
+  in
+  match Race_rule.check_weak ~order_aware ~existing ~incoming with
+  | Race_rule.No_race | Race_rule.Race _ -> ()
+  | Race_rule.Predicted _ ->
+      let key = pair_key_of existing incoming in
+      if (not (Hashtbl.mem p.observed_pairs key)) && not (Hashtbl.mem p.predicted_pairs key)
+      then begin
+        Hashtbl.replace p.predicted_pairs key ();
+        let phase = Option.value (Hashtbl.find_opt p.weak_phase win) ~default:0 in
+        let clock_of (a : Access.t) which =
+          if a.Access.issuer >= 0 && a.Access.issuer < Array.length p.clocks then
+            Vclock.components (which p.clocks.(a.Access.issuer))
+          else []
+        in
+        let describe (a : Access.t) =
+          Printf.sprintf "%s by rank %d at %s:%d"
+            (Access_kind.to_string a.Access.kind)
+            a.Access.issuer a.Access.debug.Debug_info.file a.Access.debug.Debug_info.line
+        in
+        let reorder =
+          Printf.sprintf
+            "hold rank %d before its next epoch close so the %s is still in flight when the %s \
+             executes; no fence or fully flushed barrier on window %d separates the two accesses \
+             (weak phase %d)"
+            existing.Access.issuer (describe existing) (describe incoming) win phase
+        in
+        let witness =
+          {
+            Report.w_phase = phase;
+            w_existing_clock = clock_of existing Vclock.Dual.weak;
+            w_incoming_clock = clock_of incoming Vclock.Dual.weak;
+            w_observed_existing = clock_of existing Vclock.Dual.observed;
+            w_observed_incoming = clock_of incoming Vclock.Dual.observed;
+            w_reorder = reorder;
+          }
+        in
+        let provenance =
+          { prov_base with Report.predicted = true; witness = Some witness }
+        in
+        let report =
+          Report.make ~tool:st.name ~space ~win:(Some win) ~existing ~incoming ~sim_time
+            ~provenance ()
+        in
+        p.predicted <- report :: p.predicted;
+        p.predicted_count <- p.predicted_count + 1;
+        Obs.incr obs_predicted
+      end
 
 let insert_into st key access ~sim_time =
   let tree = tree_for st key in
@@ -245,6 +406,46 @@ let insert_into st key access ~sim_time =
                   p_incoming = incoming;
                   p_sim_time = sim_time;
                   p_prov;
+                  p_predicted = false;
+                }
+                :: !buf)
+
+(* Weak-tree counterpart of [insert_into]: same store machinery, same
+   shard (the weak tree of a (space, win) key hashes identically, so its
+   operations are FIFO-ordered after the observed insert of the same
+   access — the observed race of a pair always merges before the weak
+   conflict, which the dedup in [consider_predicted] relies on). *)
+let weak_insert_into st p key access ~sim_time =
+  let tree = weak_tree_for st p key in
+  match st.par with
+  | None -> (
+      match store_insert tree.store access with
+      | Store_intf.Inserted -> ()
+      | Store_intf.Race_detected { existing; incoming } ->
+          let space, win = key in
+          let prov_base = worker_provenance tree ~existing ~incoming in
+          consider_predicted st p ~space ~win ~existing ~incoming ~sim_time ~prov_base)
+  | Some par ->
+      let space, win = key in
+      let tag = par.next_tag in
+      par.next_tag <- tag + 1;
+      let shard = Rma_par.shard_of par.engine ~space ~win in
+      let buf = par.shard_races.(shard) in
+      Rma_par.submit par.engine ~shard (fun () ->
+          match store_insert tree.store access with
+          | Store_intf.Inserted -> ()
+          | Store_intf.Race_detected { existing; incoming } ->
+              let p_prov = worker_provenance tree ~existing ~incoming in
+              buf :=
+                {
+                  p_tag = tag;
+                  p_space = space;
+                  p_win = win;
+                  p_existing = existing;
+                  p_incoming = incoming;
+                  p_sim_time = sim_time;
+                  p_prov;
+                  p_predicted = true;
                 }
                 :: !buf)
 
@@ -265,9 +466,16 @@ let merge_pending st p =
       let pending = List.sort (fun a b -> compare a.p_tag b.p_tag) pending in
       List.iter
         (fun pr ->
-          let provenance = { pr.p_prov with Report.id = st.race_count + 1 } in
-          record_race st ~space:pr.p_space ~win:(Some pr.p_win) ~existing:pr.p_existing
-            ~incoming:pr.p_incoming ~sim_time:pr.p_sim_time ~provenance)
+          if pr.p_predicted then
+            match st.predictive with
+            | Some p ->
+                consider_predicted st p ~space:pr.p_space ~win:pr.p_win ~existing:pr.p_existing
+                  ~incoming:pr.p_incoming ~sim_time:pr.p_sim_time ~prov_base:pr.p_prov
+            | None -> ()
+          else
+            let provenance = { pr.p_prov with Report.id = st.race_count + 1 } in
+            record_race st ~space:pr.p_space ~win:(Some pr.p_win) ~existing:pr.p_existing
+              ~incoming:pr.p_incoming ~sim_time:pr.p_sim_time ~provenance)
         pending
 
 (* Epoch barrier: wait for every in-flight store operation, restore the
@@ -305,21 +513,73 @@ let on_access st (a : Event.access_event) =
   else begin
     let access = a.Event.access in
     let is_rma = Access_kind.is_rma access.Access.kind in
-    (if is_rma then begin
-       match a.Event.win with
-       | Some w -> insert_into st (a.Event.space, w) access ~sim_time:a.Event.sim_time
-       | None -> ()
-     end
-     else
-       List.iter
-         (fun key -> insert_into st key access ~sim_time:a.Event.sim_time)
-         (local_targets st ~space:a.Event.space ~win:a.Event.win));
+    let keys =
+      if is_rma then
+        match a.Event.win with Some w -> [ (a.Event.space, w) ] | None -> []
+      else local_targets st ~space:a.Event.space ~win:a.Event.win
+    in
+    List.iter (fun key -> insert_into st key access ~sim_time:a.Event.sim_time) keys;
+    (match st.predictive with
+    | Some p ->
+        (* The issuer now has uncompleted one-sided traffic on the
+           window, until its next flush / unlock / fence: a barrier
+           reached before that cannot weakly synchronise the window. *)
+        if is_rma then
+          List.iter (fun (_, w) -> Hashtbl.replace p.unflushed (w, access.Access.issuer) ()) keys;
+        List.iter (fun key -> weak_insert_into st p key access ~sim_time:a.Event.sim_time) keys
+    | None -> ());
     (* The origin's notification MPI_Send towards the target (§5.1):
        charged on the target-side event of cross-rank operations. *)
     if is_rma && a.Event.space <> access.Access.issuer then
       Config.message_cost st.config ~bytes_count:32
     else 0.0
   end
+
+(* True-synchronization edges for the weak order (everything else —
+   epoch closes included — is schedule-induced and leaves weak trees
+   alone). A fence completion orders every rank's operations on its
+   window; the fence [Collective] event carries no window id, so the
+   arrival is attributed to the rank's last-closed window (exact for the
+   runtime's close-all / fence-all / reopen-all dispatch). A barrier or
+   allreduce orders ranks but completes no one-sided traffic: it clears
+   a window only when no rank holds unflushed operations on it — the
+   flush-then-barrier idiom MiniVite uses. *)
+let predictive_collective st p ~kind ~rank =
+  match kind with
+  | Event.Fence -> (
+      match Hashtbl.find_opt p.last_closed rank with
+      | None -> ()
+      | Some win ->
+          let arrivals =
+            match Hashtbl.find_opt p.fence_arrivals win with
+            | Some set -> set
+            | None ->
+                let set = Hashtbl.create st.nprocs in
+                Hashtbl.replace p.fence_arrivals win set;
+                set
+          in
+          Hashtbl.replace arrivals rank ();
+          if Hashtbl.length arrivals >= st.nprocs then begin
+            Hashtbl.remove p.fence_arrivals win;
+            weak_clear_window p win;
+            Vclock.Dual.sync_step p.clocks
+          end)
+  | Event.Barrier | Event.Allreduce ->
+      Hashtbl.replace p.coll_arrivals rank ();
+      if Hashtbl.length p.coll_arrivals >= st.nprocs then begin
+        Hashtbl.reset p.coll_arrivals;
+        let wins = Hashtbl.create 4 in
+        Hashtbl.iter (fun (_, w) _ -> Hashtbl.replace wins w ()) p.weak_trees;
+        Hashtbl.iter
+          (fun w () ->
+            let flushed = ref true in
+            for r = 0 to st.nprocs - 1 do
+              if Hashtbl.mem p.unflushed (w, r) then flushed := false
+            done;
+            if !flushed then weak_clear_window p w)
+          wins;
+        if Hashtbl.length p.unflushed = 0 then Vclock.Dual.sync_step p.clocks
+      end
 
 let observer st event =
   (* Parallel engines synchronise exactly where the sequential analyzer
@@ -331,6 +591,9 @@ let observer st event =
     match (st.par, event) with
     | Some _, (Event.Epoch_opened _ | Event.Epoch_closed _) -> sync st
     | Some _, Event.Flushed _ when st.flush_clears -> sync st
+    (* Weak clears at collectives touch whole weak trees; drain in-flight
+       shard operations first, exactly like epoch boundaries do. *)
+    | Some _, Event.Collective _ when st.predictive <> None -> sync st
     | _ -> 0.0
   in
   barrier_cost
@@ -392,8 +655,20 @@ let observer st event =
       if Hashtbl.length closers >= st.nprocs then begin
         Hashtbl.remove st.epoch_closers win;
         Obs.incr obs_window_clears;
+        (* NOT mirrored on the weak trees: this point depends on the
+           schedule the run took (unlock_all is not collective), which is
+           exactly the gap the predictive analysis exists to close. *)
         Hashtbl.iter (fun (_, w) t -> if w = win then store_clear t.store) st.trees
       end;
+      (match st.predictive with
+      | Some p ->
+          Hashtbl.replace p.last_closed rank win;
+          (* The rank's own unlock/complete finishes its one-sided
+             operations on the window. *)
+          Hashtbl.remove p.unflushed (win, rank);
+          if rank >= 0 && rank < Array.length p.clocks then
+            Vclock.Dual.local_step p.clocks.(rank) ~rank
+      | None -> ());
       (* The end-of-epoch MPI_Reduce counting remote accesses (§5.1). *)
       let cost = Config.collective_cost st.config ~nprocs:st.nprocs ~bytes_count:8 in
       if close_t0 > 0.0 then Telemetry.note_epoch_close (Rma_util.Timer.now () -. close_t0);
@@ -408,8 +683,20 @@ let observer st event =
         | Some tree -> store_clear tree.store
         | None -> ()
       end;
+      (* For the weak order a flush DOES matter — not as a clear (it
+         orders only the caller's operations, §6(2)) but as completion:
+         the caller no longer holds unflushed traffic on the window, so
+         a subsequent barrier can weakly synchronise it. *)
+      (match st.predictive with
+      | Some p -> Hashtbl.remove p.unflushed (win, rank)
+      | None -> ());
       0.0
-  | Event.Collective _ | Event.Win_created _ | Event.Win_freed _ | Event.Finished _ -> 0.0
+  | Event.Collective { kind; rank; _ } ->
+      (match st.predictive with
+      | Some p -> predictive_collective st p ~kind ~rank
+      | None -> ());
+      0.0
+  | Event.Win_created _ | Event.Win_freed _ | Event.Finished _ -> 0.0
 
 let bst_summary st () =
   Hashtbl.fold
@@ -433,9 +720,12 @@ let bst_summary st () =
 
 let make_state ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race)
     ?(flush_clears = false) ?(max_reports = 1000) ?batch_inserts ?jobs ?queue_capacity ?budget
-    policy =
+    ?predictive policy =
   let batch_inserts =
     match batch_inserts with Some b -> b | None -> Disjoint_store.batch_default_enabled ()
+  in
+  let predictive_on =
+    match predictive with Some b -> b | None -> default_predictive ()
   in
   let jobs = match jobs with Some j -> j | None -> Rma_par.default_jobs () in
   (* Abort_on_race must raise from inside the racing insert's event —
@@ -468,7 +758,39 @@ let make_state ~nprocs ?(config = Config.default) ?(mode = Tool.Abort_on_race)
     epoch_closers = Hashtbl.create 4;
     races = [];
     race_count = 0;
+    predictive =
+      (if not predictive_on then None
+       else
+         Some
+           {
+             weak_trees = Hashtbl.create 16;
+             weak_phase = Hashtbl.create 4;
+             last_closed = Hashtbl.create 8;
+             fence_arrivals = Hashtbl.create 4;
+             coll_arrivals = Hashtbl.create 8;
+             unflushed = Hashtbl.create 16;
+             clocks = Array.init nprocs (fun _ -> Vclock.Dual.create ());
+             observed_pairs = Hashtbl.create 16;
+             predicted_pairs = Hashtbl.create 16;
+             predicted = [];
+             predicted_count = 0;
+           });
   }
+
+(* Predicted reports in detection order, re-filtered against the pairs
+   the observed analysis ended up reporting (a pair predicted early in
+   the run may be observed later, e.g. across loop iterations; observed
+   wins) and numbered after the observed races. Recomputed on every
+   read — reads are idempotent. *)
+let predicted_reports st =
+  match st.predictive with
+  | None -> []
+  | Some p ->
+      List.rev p.predicted
+      |> List.filter (fun r ->
+             not (Hashtbl.mem p.observed_pairs (pair_key_of r.Report.existing r.Report.incoming)))
+      |> List.mapi (fun i r ->
+             { r with Report.provenance = { r.Report.provenance with Report.id = st.race_count + i + 1 } })
 
 (* Every externally observable read syncs first: a caller sampling races
    or tree statistics mid-stream must see exactly the sequential state. *)
@@ -480,11 +802,11 @@ let tool_of_state st =
     races =
       (fun () ->
         settle ();
-        List.rev st.races);
+        List.rev st.races @ predicted_reports st);
     race_count =
       (fun () ->
         settle ();
-        st.race_count);
+        st.race_count + List.length (predicted_reports st));
     bst_summary =
       (fun () ->
         settle ();
@@ -496,20 +818,34 @@ let tool_of_state st =
         Hashtbl.reset st.trees;
         Hashtbl.reset st.epoch_closers;
         st.races <- [];
-        st.race_count <- 0);
+        st.race_count <- 0;
+        match st.predictive with
+        | None -> ()
+        | Some p ->
+            Hashtbl.reset p.weak_trees;
+            Hashtbl.reset p.weak_phase;
+            Hashtbl.reset p.last_closed;
+            Hashtbl.reset p.fence_arrivals;
+            Hashtbl.reset p.coll_arrivals;
+            Hashtbl.reset p.unflushed;
+            Array.iter Vclock.Dual.reset p.clocks;
+            Hashtbl.reset p.observed_pairs;
+            Hashtbl.reset p.predicted_pairs;
+            p.predicted <- [];
+            p.predicted_count <- 0);
   }
 
 let create ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs ?queue_capacity
-    ?budget policy =
+    ?budget ?predictive policy =
   tool_of_state
     (make_state ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
-       ?queue_capacity ?budget policy)
+       ?queue_capacity ?budget ?predictive policy)
 
 let create_inspectable ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
-    ?queue_capacity ?budget policy =
+    ?queue_capacity ?budget ?predictive policy =
   let st =
     make_state ~nprocs ?config ?mode ?flush_clears ?max_reports ?batch_inserts ?jobs
-      ?queue_capacity ?budget policy
+      ?queue_capacity ?budget ?predictive policy
   in
   let dump () =
     ignore (sync st);

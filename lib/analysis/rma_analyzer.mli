@@ -29,6 +29,14 @@ type policy =
 
 val policy_name : policy -> string
 
+val set_default_predictive : bool -> unit
+(** Process-wide default for [?predictive] (the CLI's [--predictive]
+    flag); wins over the [RMA_PREDICTIVE] environment variable. *)
+
+val default_predictive : unit -> bool
+(** The default [?predictive]: {!set_default_predictive} if called, else
+    [RMA_PREDICTIVE] ([1]/[true]/[yes]/[on]), else [false]. *)
+
 val create :
   nprocs:int ->
   ?config:Mpi_sim.Config.t ->
@@ -39,6 +47,7 @@ val create :
   ?jobs:int ->
   ?queue_capacity:int ->
   ?budget:Rma_fault.Budget.t ->
+  ?predictive:bool ->
   policy ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Abort_on_race],
@@ -86,7 +95,21 @@ val create :
     clears the caller's trees — which is wrong, because a flush only
     orders the {e caller}'s operations; the paper shows this produces
     false negatives for conflicts with other origins, which is why the
-    real tool leaves flush uninstrumented. *)
+    real tool leaves flush uninstrumented.
+
+    [predictive:true] (default {!default_predictive}) runs the weak-order
+    analysis of DESIGN.md §15 alongside the observed one: a second set of
+    (rank, window) trees cleared only at true synchronization edges
+    (fence completion; barriers/allreduces with no unflushed one-sided
+    traffic on the window) instead of the schedule-dependent
+    all-ranks-closed point. Cross-rank conflicts surviving there but not
+    observed are appended to {!Tool.t.races} as {e predicted}
+    (schedulable) races — [provenance.predicted = true] plus a
+    [provenance.witness] describing the reordering that realizes them,
+    ids numbered after the observed reports, counted by
+    {!Tool.t.race_count}, never aborting even under [Abort_on_race].
+    With [predictive:false] every observable output is byte-identical to
+    a build without the feature. *)
 
 val create_inspectable :
   nprocs:int ->
@@ -98,6 +121,7 @@ val create_inspectable :
   ?jobs:int ->
   ?queue_capacity:int ->
   ?budget:Rma_fault.Budget.t ->
+  ?predictive:bool ->
   policy ->
   Tool.t * (unit -> ((int * Mpi_sim.Event.win_id) * Rma_access.Access.t list) list)
 (** {!create} plus a dump of the analyzer's interval state: for each

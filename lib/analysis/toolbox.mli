@@ -28,10 +28,13 @@ val make :
   ?batch_inserts:bool ->
   ?jobs:int ->
   ?budget:Rma_fault.Budget.t ->
+  ?predictive:bool ->
   unit ->
   Tool.t
 (** Defaults: [config = Mpi_sim.Config.default], [mode = Collect],
-    [batch_inserts], [jobs] and [budget] from the process-wide defaults
-    (see {!Rma_analyzer.create}); [batch_inserts] only affects the
-    disjoint-store policies, [jobs] the analyzer family ([Baseline] and
-    [Must] ignore it), and [budget] every store-backed tool. *)
+    [batch_inserts], [jobs], [budget] and [predictive] from the
+    process-wide defaults (see {!Rma_analyzer.create});
+    [batch_inserts] only affects the disjoint-store policies, [jobs] the
+    analyzer family ([Baseline] and [Must] ignore it), [budget] every
+    store-backed tool, and [predictive] the analyzer family (the
+    weak-order schedulable-race analysis of DESIGN.md §15). *)

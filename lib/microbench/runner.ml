@@ -137,10 +137,50 @@ let score ?seed ~tool scenarios =
     { tp = 0; fp = 0; tn = 0; fn = 0; dropped = 0 }
     scenarios
 
+(* A race SITE pair: the canonical (sorted) source-location pair of a
+   report's two sides. Verdicts compared across interleave seeds or
+   analysis modes must compare these sets, not booleans or report
+   counts — ids, detection order and the observed/predicted partition
+   are all schedule-dependent, the site-pair set is not. *)
+type race_site = { site_file : string; site_line : int; site_op : string }
+
+type race_pair = { pair_a : race_site; pair_b : race_site; pair_predicted : bool }
+
+let site_of_access (a : Rma_access.Access.t) =
+  {
+    site_file = a.Rma_access.Access.debug.Rma_access.Debug_info.file;
+    site_line = a.Rma_access.Access.debug.Rma_access.Debug_info.line;
+    site_op = a.Rma_access.Access.debug.Rma_access.Debug_info.operation;
+  }
+
+let pair_sites p = (p.pair_a, p.pair_b)
+
+(* Canonicalized, deduplicated, sorted. When the same site pair shows up
+   both observed and predicted (possible across runs being unioned, not
+   within one report list), the observed verdict wins. *)
+let pairs_of_reports reports =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Rma_analysis.Report.t) ->
+      let a = site_of_access r.Rma_analysis.Report.existing in
+      let b = site_of_access r.Rma_analysis.Report.incoming in
+      let a, b = if a <= b then (a, b) else (b, a) in
+      let predicted = r.Rma_analysis.Report.provenance.Rma_analysis.Report.predicted in
+      match Hashtbl.find_opt tbl (a, b) with
+      | Some false -> ()
+      | Some true -> if not predicted then Hashtbl.replace tbl (a, b) predicted
+      | None -> Hashtbl.replace tbl (a, b) predicted)
+    reports;
+  Hashtbl.fold (fun (a, b) predicted acc -> { pair_a = a; pair_b = b; pair_predicted = predicted } :: acc) tbl []
+  |> List.sort compare
+
 type kernel_verdict = {
   kernel : Scenario.Kernel.t;
   k_flagged : bool;
   k_reports : Rma_analysis.Report.t list;
+  k_pairs : race_pair list;
+      (** Canonical site-pair set of [k_reports] — the full verdict, not
+          the [k_flagged] boolean. *)
 }
 
 let run_kernel ?(seed = 11) ?interleave_seed ~tool (kernel : Scenario.Kernel.t) =
@@ -158,4 +198,4 @@ let run_kernel ?(seed = 11) ?interleave_seed ~tool (kernel : Scenario.Kernel.t) 
           ~observer:tool.Rma_analysis.Tool.observer kernel.Scenario.Kernel.k_program)
    with Rma_analysis.Report.Race_abort _ -> ());
   let k_reports = tool.Rma_analysis.Tool.races () in
-  { kernel; k_flagged = k_reports <> []; k_reports }
+  { kernel; k_flagged = k_reports <> []; k_reports; k_pairs = pairs_of_reports k_reports }

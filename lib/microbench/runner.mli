@@ -33,10 +33,30 @@ val score : ?seed:int -> tool:Rma_analysis.Tool.t -> Scenario.t list -> confusio
 
 (** {1 Kernel corpus} *)
 
+type race_site = { site_file : string; site_line : int; site_op : string }
+(** One side of a race, identified by source location — the
+    schedule-independent identity of an access. *)
+
+type race_pair = { pair_a : race_site; pair_b : race_site; pair_predicted : bool }
+(** A canonical (sorted) site pair from a report.
+    [pair_predicted = false] for observed races. *)
+
+val pairs_of_reports : Rma_analysis.Report.t list -> race_pair list
+(** The canonical site-pair set of a report list: each report's two
+    sides sorted into a pair, deduplicated (observed wins over
+    predicted), pairs sorted. This is the representation to compare
+    across interleave seeds or analysis modes — report ids, order and
+    the observed/predicted partition are schedule-dependent; this set is
+    not. *)
+
+val pair_sites : race_pair -> race_site * race_site
+
 type kernel_verdict = {
   kernel : Scenario.Kernel.t;
   k_flagged : bool;
   k_reports : Rma_analysis.Report.t list;
+  k_pairs : race_pair list;
+      (** [pairs_of_reports k_reports] — the full verdict set. *)
 }
 
 val run_kernel :

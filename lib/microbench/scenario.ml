@@ -728,9 +728,128 @@ module Kernel = struct
              k_program;
            })
 
+  (* ---------------------------------------------------------------- *)
+  (* Predictive (schedulable-race) kernels                             *)
+  (* ---------------------------------------------------------------- *)
+
+  (* Consecutive passive-target epochs: each phase runs in its own
+     lock_all..unlock_all epoch on the same window, with NOTHING but the
+     unlocks between phases. unlock_all is not collective, so whether
+     the observed analysis still holds phase-1 accesses when a phase-2
+     access arrives depends on the schedule (a rank can race through its
+     unlock and next lock before the others close) — the exact gap
+     predictive mode closes. [between] runs on every rank between
+     phases (e.g. [Mpi.barrier] for the flushed-barrier safe control). *)
+  let with_lock_all_phases ?(between = fun () -> ()) phases () =
+    let rank = Mpi.comm_rank () in
+    let base = Mpi.alloc ~label:"window" ~exposed:true window_bytes in
+    let buf = Mpi.alloc ~label:"origin" ~exposed:true 8 in
+    let win = Mpi.win_create ~base ~size:window_bytes in
+    List.iteri
+      (fun i phase ->
+        if i > 0 then between ();
+        Mpi.win_lock_all win;
+        phase ~rank ~win ~base ~buf;
+        Mpi.win_unlock_all win)
+      phases;
+    Mpi.win_free win
+
+  (* The [k_racy] label of a prd_ kernel is its ground truth under MPI
+     synchronization semantics — i.e. whether SOME legal schedule
+     overlaps the pair. Under predictive analysis the union of observed
+     and predicted races is schedule-independent and must match the
+     label at every interleave seed; which side of the partition a
+     conflict lands on is the schedule-dependent part. *)
+  let predictive =
+    [
+      (* Puts from two origins to the same location in consecutive
+         passive epochs: rank 1's unlock completes its put, but nothing
+         orders rank 2's next-epoch put behind it. *)
+      ( "epochs_put_put",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all_phases
+          [
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 1 then put ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 2 then put ~line:12 ~disp:conflict_disp win buf);
+          ] );
+      (* A remote put in epoch 1 against the target's own load in epoch
+         2 of the same window. *)
+      ( "epochs_put_load",
+        Lock_all,
+        Remote,
+        true,
+        with_lock_all_phases
+          [
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 1 then put ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win:_ ~base ~buf:_ ->
+              if rank = 0 then
+                ignore (Mpi.load ~loc:(loc 13 "Load") ~addr:(base + conflict_disp) ~len:8 ()));
+          ] );
+      (* Same cross-epoch shape, disjoint locations: nothing conflicts
+         under any order. *)
+      ( "epochs_put_put_disjoint",
+        Lock_all,
+        Remote,
+        false,
+        with_lock_all_phases
+          [
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 1 then put ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 2 then put ~line:12 ~disp:disjoint_disp win buf);
+          ] );
+      (* Same conflicting pair, but an MPI_Barrier between the epochs:
+         every rank's unlock_all has completed (flushed) its one-sided
+         traffic before the barrier, so the barrier truly orders epoch 1
+         before epoch 2 under every schedule — the flush-then-barrier
+         idiom. Safe, observed AND predicted. *)
+      ( "barrier_put_put",
+        Lock_all,
+        Remote,
+        false,
+        with_lock_all_phases ~between:Mpi.barrier
+          [
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 1 then put ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 2 then put ~line:12 ~disp:conflict_disp win buf);
+          ] );
+      (* Fence-separated epochs: the fence is a true synchronization
+         edge, the weak trees clear exactly like the observed ones. *)
+      ( "fences_put_put",
+        Fence,
+        Remote,
+        false,
+        with_fences
+          [
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 1 then put ~line:21 ~disp:conflict_disp win buf);
+            (fun ~rank ~win ~base:_ ~buf -> if rank = 2 then put ~line:22 ~disp:conflict_disp win buf);
+          ] );
+      (* Cross-epoch accumulates keep the §2.1 atomicity guarantee:
+         no race under any schedule. *)
+      ( "epochs_acc_acc",
+        Lock_all,
+        Remote,
+        false,
+        with_lock_all_phases
+          [
+            (fun ~rank ~win ~base:_ ~buf ->
+              if rank = 1 then accumulate ~line:11 ~disp:conflict_disp win buf);
+            (fun ~rank ~win ~base:_ ~buf ->
+              if rank = 2 then accumulate ~line:12 ~disp:conflict_disp win buf);
+          ] );
+    ]
+    |> List.map (fun (stem, k_sync, k_locality, k_racy, k_program) ->
+           {
+             k_name =
+               Printf.sprintf "prd_%s_%s_%s_%s" (sync_name k_sync) (locality_name k_locality)
+                 stem
+                 (if k_racy then "race" else "safe");
+             k_sync;
+             k_locality;
+             k_nprocs = 3;
+             k_racy;
+             k_program;
+           })
+
   let find name =
-    List.find_opt (fun k -> String.equal k.k_name name) all
-    |> function
-    | Some _ as found -> found
-    | None -> List.find_opt (fun k -> String.equal k.k_name name) hybrid
+    List.find_opt (fun k -> String.equal k.k_name name) (all @ hybrid @ predictive)
 end

@@ -127,6 +127,18 @@ module Kernel : sig
       closes, so no schedule can move an access across the
       synchronisation that labels it. *)
 
+  val predictive : t list
+  (** Schedulable-race kernels ([prd_] prefix) for predictive mode:
+      conflicting accesses in {e consecutive} passive-target epochs of
+      one window, where the observed verdict depends on the interleave
+      seed (unlock_all is not collective) but the union of observed and
+      predicted races is schedule-independent and equals [k_racy] —
+      [k_racy] here is ground truth under MPI synchronization semantics,
+      i.e. whether {e some} legal schedule overlaps the pair. Includes
+      the safe controls (disjoint locations, fence separation,
+      flush-then-barrier, accumulate atomicity) showing where the weak
+      order genuinely synchronises. *)
+
   val find : string -> t option
-  (** Looks through [all] and then [hybrid]. *)
+  (** Looks through [all], [hybrid] and [predictive]. *)
 end

@@ -15,6 +15,7 @@ type opts = {
   jobs : int option;
   fault_plan : string option;
   budget : string option;
+  predictive : bool;
 }
 
 let default =
@@ -32,6 +33,7 @@ let default =
     jobs = None;
     fault_plan = None;
     budget = None;
+    predictive = false;
   }
 
 let wants_races opts = opts.races_json <> None || opts.races_sarif <> None
@@ -68,6 +70,9 @@ let with_diag ?(prog = "rma_race") ?(generator = "rma_race") ?workload opts f =
   Option.iter Events.set_sink opts.obs_events;
   if wants_races opts then Rma_store.Flight_recorder.enable ();
   if opts.batch_inserts then Rma_store.Disjoint_store.set_batch_default true;
+  (* Only an explicit --predictive forces the default on; left false,
+     the RMA_PREDICTIVE environment variable still decides. *)
+  if opts.predictive then Rma_analysis.Rma_analyzer.set_default_predictive true;
   Option.iter Rma_par.set_default_jobs opts.jobs;
   Option.iter
     (fun spec ->

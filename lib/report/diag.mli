@@ -29,6 +29,10 @@ type opts = {
   jobs : int option;
   fault_plan : string option;  (** {!Rma_fault.Plan.of_spec} syntax. *)
   budget : string option;  (** {!Rma_fault.Budget.of_spec} syntax. *)
+  predictive : bool;
+      (** Make predictive (weak-order schedulable-race) analysis the
+          process default — the [--predictive] flag. [false] leaves the
+          [RMA_PREDICTIVE] environment variable in charge. *)
 }
 
 val default : opts

@@ -4,9 +4,18 @@ module Json = Rma_util.Json
 module Flight_recorder = Rma_store.Flight_recorder
 
 (* v2 added the optional [run_id] header cross-linking a verdict file to
-   the event journal of the run that produced it; v1 files still load. *)
-let schema_version = 2
+   the event journal of the run that produced it; v3 added the
+   [predicted] flag and schedulable-race [witness] of predictive mode.
+   v1/v2 files still load — and the emitted header version is ADAPTIVE:
+   a file with no predicted race is written as v2, so every
+   observed-only export stays byte-identical to pre-predictive builds. *)
+let schema_version = 3
 let min_schema_version = 1
+
+let used_schema_version reports =
+  if List.exists (fun (r : Report.t) -> r.Report.provenance.Report.predicted) reports then
+    schema_version
+  else 2
 
 (* ------------------------------------------------------------------ *)
 (* JSON encoding                                                       *)
@@ -51,10 +60,24 @@ let json_of_origin (o : Flight_recorder.origin) =
   Json.Obj
     [ ("access", json_of_access o.Flight_recorder.access); ("epoch", Json.Int o.Flight_recorder.epoch) ]
 
+let json_of_clock comps =
+  Json.List (List.map (fun (t, v) -> Json.List [ Json.Int t; Json.Int v ]) comps)
+
+let json_of_witness (w : Report.witness) =
+  Json.Obj
+    [
+      ("phase", Json.Int w.Report.w_phase);
+      ("weak_existing", json_of_clock w.Report.w_existing_clock);
+      ("weak_incoming", json_of_clock w.Report.w_incoming_clock);
+      ("observed_existing", json_of_clock w.Report.w_observed_existing);
+      ("observed_incoming", json_of_clock w.Report.w_observed_incoming);
+      ("reorder", Json.String w.Report.w_reorder);
+    ]
+
 let json_of_report (r : Report.t) =
   let p = r.Report.provenance in
   Json.Obj
-    [
+    ([
       ("id", Json.Int p.Report.id);
       ("tool", Json.String r.Report.tool);
       ("space", Json.Int r.Report.space);
@@ -74,10 +97,17 @@ let json_of_report (r : Report.t) =
       ("incoming_history", Json.List (List.map json_of_origin p.Report.incoming_history));
       ("degraded", Json.Bool p.Report.degraded);
     ]
+    @
+    (* Emitted only for predicted races: observed reports keep the exact
+       v2 field set, so observed-only files are byte-identical. *)
+    if not p.Report.predicted then []
+    else
+      ("predicted", Json.Bool true)
+      :: (match p.Report.witness with Some w -> [ ("witness", json_of_witness w) ] | None -> []))
 
 let to_json ?run_id ~generator reports =
   Json.Obj
-    (("schema_version", Json.Int schema_version)
+    (("schema_version", Json.Int (used_schema_version reports))
      :: ("generator", Json.String generator)
      :: (match run_id with Some r -> [ ("run_id", Json.String r) ] | None -> [])
     @ [
@@ -193,7 +223,46 @@ let report_of_json j =
   (* Optional with a [false] default so pre-governance race files still load. *)
   let* degraded = opt_field "degraded" Json.to_bool j in
   let degraded = Option.value degraded ~default:false in
-  let provenance = { Report.id; epoch; vclock; existing_history; incoming_history; degraded } in
+  (* v3 fields; absent (observed race, or pre-predictive file) = false. *)
+  let* predicted = opt_field "predicted" Json.to_bool j in
+  let predicted = Option.value predicted ~default:false in
+  let* witness =
+    match Json.member "witness" j with
+    | None | Some Json.Null -> Ok None
+    | Some wj ->
+        let clock_field name =
+          let* l = field name Json.to_list wj in
+          map_result vclock_component_of_json l
+        in
+        let* w_phase = field "phase" Json.to_int wj in
+        let* w_existing_clock = clock_field "weak_existing" in
+        let* w_incoming_clock = clock_field "weak_incoming" in
+        let* w_observed_existing = clock_field "observed_existing" in
+        let* w_observed_incoming = clock_field "observed_incoming" in
+        let* w_reorder = field "reorder" Json.to_str wj in
+        Ok
+          (Some
+             {
+               Report.w_phase;
+               w_existing_clock;
+               w_incoming_clock;
+               w_observed_existing;
+               w_observed_incoming;
+               w_reorder;
+             })
+  in
+  let provenance =
+    {
+      Report.id;
+      epoch;
+      vclock;
+      existing_history;
+      incoming_history;
+      degraded;
+      predicted;
+      witness;
+    }
+  in
   Ok (Report.make ~tool ~space ~win ~existing ~incoming ~sim_time ~provenance ())
 
 let of_json_with_run_id j =
@@ -305,6 +374,19 @@ let sarif_result (r : Report.t) =
     if p.Report.degraded then
       ("warning", properties @ [ ("confidence", Json.String "downgraded") ])
     else ("error", properties)
+  in
+  (* A predicted race was NOT taken by the observed run — some legal
+     schedule takes it. Downgrade to warning and attach the witness so
+     triage tools can render the reordering. *)
+  let level, properties =
+    if not p.Report.predicted then (level, properties)
+    else
+      ( "warning",
+        properties
+        @ ("predicted", Json.Bool true)
+          :: (match p.Report.witness with
+             | Some w -> [ ("witness", json_of_witness w) ]
+             | None -> []) )
   in
   Json.Obj
     [
@@ -420,6 +502,31 @@ let explain (r : Report.t) =
     r.Report.sim_time;
   (match p.Report.epoch with Some e -> say "epoch:    %d" e | None -> ());
   say "verdict:  Figure 3 cell %s" (Report.matrix_cell r);
+  (* Predicted (schedulable) races carry the weak-order witness; the
+     section is absent for observed races, keeping their rendering
+     byte-identical to pre-predictive builds. *)
+  if p.Report.predicted then begin
+    say "class:    schedulable race — not overlapped by the observed run, but no MPI";
+    say "          synchronization (fence / fully flushed barrier) orders the two accesses";
+    match p.Report.witness with
+    | None -> ()
+    | Some w ->
+        let clock_str comps =
+          if comps = [] then "{}"
+          else
+            "{ "
+            ^ String.concat ", " (List.map (fun (t, v) -> Printf.sprintf "%d:%d" t v) comps)
+            ^ " }"
+        in
+        say "witness:  weak phase %d" w.Report.w_phase;
+        say "          weak clocks:     existing %s  incoming %s"
+          (clock_str w.Report.w_existing_clock)
+          (clock_str w.Report.w_incoming_clock);
+        say "          observed clocks: existing %s  incoming %s"
+          (clock_str w.Report.w_observed_existing)
+          (clock_str w.Report.w_observed_incoming);
+        say "          reordering: %s" w.Report.w_reorder
+  end;
   (match p.Report.vclock with
   | Some comps ->
       say "vclock:   %s"

@@ -11,12 +11,17 @@ open Rma_analysis
     involved. *)
 
 val schema_version : int
-(** Version stamp of the JSON race format (2: v1 plus an optional
-    [run_id] header cross-linking the verdict file to the event journal
-    of the run that produced it). *)
+(** Newest version of the JSON race format (3: v2 — v1 plus the optional
+    [run_id] header — plus the per-race [predicted] flag and
+    schedulable-race [witness] of predictive mode). *)
 
 val min_schema_version : int
 (** Oldest version {!of_json} still loads (1). *)
+
+val used_schema_version : Report.t list -> int
+(** The header version {!to_json} stamps for these reports: 3 when any
+    report is predicted, else 2 — so observed-only exports stay
+    byte-identical to pre-predictive builds. *)
 
 (** {1 JSON} *)
 

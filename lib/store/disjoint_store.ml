@@ -172,7 +172,7 @@ let detect_race t access candidates =
         t.race_checks <- t.race_checks + 1;
         match Race_rule.check ~order_aware:t.order_aware ~existing ~incoming:access with
         | Race_rule.No_race -> None
-        | Race_rule.Race _ -> Some existing
+        | Race_rule.Race _ | Race_rule.Predicted _ -> Some existing
       end
       else None)
     candidates

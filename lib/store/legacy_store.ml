@@ -73,7 +73,7 @@ let insert_uninstrumented t access =
         t.race_checks <- t.race_checks + 1;
         match Race_rule.check ~order_aware:false ~existing ~incoming:access with
         | Race_rule.No_race -> None
-        | Race_rule.Race _ -> Some existing)
+        | Race_rule.Race _ | Race_rule.Predicted _ -> Some existing)
       path
   in
   match conflict with

@@ -190,7 +190,7 @@ let detect_race t (access : Access.t) candidates =
         let existing = access_of_region r in
         match Race_rule.check ~order_aware:t.order_aware ~existing ~incoming:access with
         | Race_rule.No_race -> None
-        | Race_rule.Race _ -> Some existing
+        | Race_rule.Race _ | Race_rule.Predicted _ -> Some existing
       end
       else None)
     candidates

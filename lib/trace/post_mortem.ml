@@ -225,14 +225,13 @@ let to_reports result =
     (fun i (r : race_pair) ->
       let provenance =
         {
+          Rma_analysis.Report.empty_provenance with
           Rma_analysis.Report.id = i + 1;
-          epoch = None;
           vclock = Some (Vclock.components r.second_clock);
           existing_history =
             [ { Rma_store.Flight_recorder.access = r.first; epoch = 0 } ];
           incoming_history =
             [ { Rma_store.Flight_recorder.access = r.second; epoch = 0 } ];
-          degraded = false;
         }
       in
       Rma_analysis.Report.make ~tool:"MC-Checker (post-mortem)" ~space:r.space ~win:r.win

@@ -58,3 +58,48 @@ let pp fmt t =
   Format.fprintf fmt "{";
   Imap.iter (fun i v -> if v > 0 then Format.fprintf fmt "%d:%d " i v) t;
   Format.fprintf fmt "}"
+
+let to_string t =
+  let comps = components t in
+  if comps = [] then "{}"
+  else
+    "{ " ^ String.concat ", " (List.map (fun (i, v) -> Printf.sprintf "%d:%d" i v) comps) ^ " }"
+
+(* Dual clocks for the predictive analysis: each rank carries an
+   OBSERVED clock advanced on every scheduler-visible progress point
+   (epoch closes — the incidental order the one simulated run happened
+   to take) and a WEAK clock advanced only on edges MPI semantics
+   guarantee under every legal schedule (fences, globally flushed
+   barriers). Two accesses separated in the observed order but not in
+   the weak order are exactly the "schedulable race" class: a different
+   interleaving could have overlapped them. *)
+module Dual = struct
+  type clock = t
+
+  type nonrec t = { mutable observed : clock; mutable weak : clock }
+
+  let create () = { observed = empty; weak = empty }
+
+  let observed d = d.observed
+
+  let weak d = d.weak
+
+  let reset d =
+    d.observed <- empty;
+    d.weak <- empty
+
+  let local_step d ~rank = d.observed <- tick d.observed rank
+
+  (* A true synchronization edge joining every participant: both orders
+     gather (componentwise max over all ranks) and each rank ticks its
+     own component past the merge — the same shape as a barrier in a
+     classic vector-clock analysis. *)
+  let sync_step ds =
+    let merged_obs = Array.fold_left (fun acc d -> merge acc d.observed) empty ds in
+    let merged_weak = Array.fold_left (fun acc d -> merge acc d.weak) empty ds in
+    Array.iteri
+      (fun rank d ->
+        d.observed <- tick merged_obs rank;
+        d.weak <- tick merged_weak rank)
+      ds
+end

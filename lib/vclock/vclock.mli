@@ -77,3 +77,36 @@ val of_components : (int * int) list -> t
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** [{ 0:2, 1:1 }] rendering of {!components}; [{}] when empty. *)
+
+(** Dual observed/weak clocks for the predictive analyzer: the observed
+    clock advances on every scheduler-visible progress point of its
+    rank, the weak clock only on edges MPI synchronization semantics
+    guarantee under {e every} legal schedule (fences; barriers whose
+    outstanding one-sided traffic was flushed). Accesses separated in
+    the observed order but concurrent in the weak order are the
+    "schedulable race" class a different interleaving could overlap. *)
+module Dual : sig
+  type clock = t
+
+  type t
+
+  val create : unit -> t
+
+  val observed : t -> clock
+
+  val weak : t -> clock
+
+  val reset : t -> unit
+
+  val local_step : t -> rank:int -> unit
+  (** Scheduler-induced progress (an epoch close the one observed run
+      happened to take): ticks the observed clock only. *)
+
+  val sync_step : t array -> unit
+  (** A real synchronization edge joining every rank (fence release,
+      fully flushed barrier): both clocks of every rank merge
+      componentwise and tick their own component, barrier-style. *)
+end

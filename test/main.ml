@@ -26,4 +26,6 @@ let () =
       ("journal", Test_journal.suite);
       ("export", Test_export.suite);
       ("fault", Test_fault.suite);
+      ("predictive", Test_predictive.suite);
+      ("golden_regen", Golden_regen.suite);
     ]

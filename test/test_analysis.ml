@@ -309,8 +309,13 @@ let test_flush_clearing_causes_false_negative () =
     Mpi.win_free win
   in
   let races ~flush_clears =
+    (* Pinned observed-only: the ablation is about the OBSERVED trees.
+       (Predictive mode would rightly predict this very race — the weak
+       trees don't clear on flush — which is the feature, not the FN
+       this test demonstrates.) *)
     let tool =
-      Rma_analyzer.create ~nprocs:3 ~mode:Tool.Collect ~flush_clears Rma_analyzer.Contribution
+      Rma_analyzer.create ~nprocs:3 ~mode:Tool.Collect ~flush_clears ~predictive:false
+        Rma_analyzer.Contribution
     in
     (try
        ignore

@@ -143,20 +143,10 @@ let journal_of_seeded_run () =
 let test_golden_journal () =
   let lines = journal_of_seeded_run () in
   let text = String.concat "\n" lines ^ "\n" in
-  (* GOLDEN_OUT_EVENTS=/abs/path/test/golden/events_journal.jsonl
-     regenerates the golden file instead of comparing. *)
-  match Sys.getenv_opt "GOLDEN_OUT_EVENTS" with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
-  | None ->
-      let ic = open_in "golden/events_journal.jsonl" in
-      let golden =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      Alcotest.(check string) "journal matches the golden file" golden text
+  (* GOLDEN_OUT_EVENTS=/abs/path (or GOLDEN_OUT_DIR, see
+     test/golden_regen.ml) regenerates the golden file instead of
+     comparing. *)
+  Golden_regen.check ~name:"events_journal.jsonl" ~what:"journal matches the golden file" text
 
 let test_journal_correlation () =
   let lines = journal_of_seeded_run () in

@@ -216,20 +216,10 @@ let test_json_rejects_bad_version () =
 let test_sarif_matches_golden () =
   let reports = with_recorder code1_race_reports in
   let sarif = Json.to_string (Race_export.to_sarif ~generator:"test" reports) ^ "\n" in
-  (* GOLDEN_OUT=/abs/path/test/golden/race.sarif regenerates the golden
-     file instead of comparing (after an intentional format change). *)
-  match Sys.getenv_opt "GOLDEN_OUT" with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc sarif)
-  | None ->
-      let golden =
-        let ic = open_in "golden/race.sarif" in
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      Alcotest.(check string) "SARIF export matches golden file" golden sarif
+  (* GOLDEN_OUT=/abs/path (or GOLDEN_OUT_DIR, see test/golden_regen.ml)
+     regenerates the golden file instead of comparing (after an
+     intentional format change). *)
+  Golden_regen.check ~name:"race.sarif" ~what:"SARIF export matches golden file" sarif
 
 let test_degraded_sarif_matches_golden () =
   let reports, _ = degraded_race_reports () in
@@ -240,20 +230,8 @@ let test_degraded_sarif_matches_golden () =
     (Astring.String.is_infix ~affix:"\"level\": \"warning\"" sarif);
   Alcotest.(check bool) "confidence property present" true
     (Astring.String.is_infix ~affix:"\"confidence\": \"downgraded\"" sarif);
-  (* GOLDEN_OUT_DEGRADED=/abs/path/test/golden/race_degraded.sarif
-     regenerates the golden file instead of comparing. *)
-  match Sys.getenv_opt "GOLDEN_OUT_DEGRADED" with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc sarif)
-  | None ->
-      let golden =
-        let ic = open_in "golden/race_degraded.sarif" in
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      Alcotest.(check string) "degraded SARIF matches golden file" golden sarif
+  Golden_regen.check ~name:"race_degraded.sarif" ~what:"degraded SARIF matches golden file"
+    sarif
 
 let test_sarif_lists_all_locations () =
   let reports = with_recorder code1_race_reports in
@@ -482,13 +460,7 @@ let test_hybrid_json_matches_golden () =
   let reports = with_recorder hybrid_race_reports in
   Alcotest.(check bool) "hybrid race found" true (reports <> []);
   let json = Json.to_string (Race_export.to_json ~generator:"test" reports) ^ "\n" in
-  match Sys.getenv_opt "GOLDEN_OUT_HYBRID" with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc json)
-  | None ->
-      Alcotest.(check string) "hybrid race JSON matches golden file"
-        (read_golden "golden/race_hybrid.json") json
+  Golden_regen.check ~name:"race_hybrid.json" ~what:"hybrid race JSON matches golden file" json
 
 let test_explain_names_thread () =
   let reports = with_recorder hybrid_race_reports in

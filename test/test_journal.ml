@@ -139,18 +139,7 @@ let test_stats_golden () =
     Journal.render_stats ~source:"golden/events_journal.jsonl"
       (Journal.stats_of r.Journal.events)
   in
-  match Sys.getenv_opt "GOLDEN_OUT_STATS" with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
-  | None ->
-      let ic = open_in "golden/obs_stats.txt" in
-      let golden =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      Alcotest.(check string) "stats match the golden report" golden text
+  Golden_regen.check ~name:"obs_stats.txt" ~what:"stats match the golden report" text
 
 let test_stats_counts () =
   let r = Journal.read_file "golden/events_journal.jsonl" in

@@ -209,20 +209,11 @@ let test_prometheus_escaping () =
             name = "run_info" || String.length name >= 4 && String.sub name 0 4 = "esc.")
           ()
       in
-      (* GOLDEN_OUT_PROM=/abs/path/test/golden/prometheus_escaping.txt
-         regenerates the golden file instead of comparing. *)
-      match Sys.getenv_opt "GOLDEN_OUT_PROM" with
-      | Some path ->
-          let oc = open_out path in
-          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
-      | None ->
-          let ic = open_in "golden/prometheus_escaping.txt" in
-          let golden =
-            Fun.protect
-              ~finally:(fun () -> close_in ic)
-              (fun () -> really_input_string ic (in_channel_length ic))
-          in
-          Alcotest.(check string) "exposition text matches the golden file" golden text)
+      (* GOLDEN_OUT_PROM=/abs/path (or GOLDEN_OUT_DIR, see
+         test/golden_regen.ml) regenerates the golden file instead of
+         comparing. *)
+      Golden_regen.check ~name:"prometheus_escaping.txt"
+        ~what:"exposition text matches the golden file" text)
 
 let suite =
   [

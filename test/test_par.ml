@@ -263,15 +263,11 @@ let test_explain_matches_golden () =
   let explain_of reports = Race_export.explain (List.hd reports) ^ "\n" in
   let seq = with_recorder (code1_reports ~jobs:1) in
   Alcotest.(check int) "one race" 1 (List.length seq);
-  (* GOLDEN_OUT_EXPLAIN=/abs/path/test/golden/explain.txt regenerates
-     the golden file instead of comparing (after an intentional format
-     change). *)
-  match Sys.getenv_opt "GOLDEN_OUT_EXPLAIN" with
-  | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_string oc (explain_of seq))
+  (* GOLDEN_OUT_EXPLAIN=/abs/path (or GOLDEN_OUT_DIR, see
+     test/golden_regen.ml) regenerates the golden file instead of
+     comparing (after an intentional format change). *)
+  match Golden_regen.hook ~name:"explain.txt" with
+  | Some path -> Golden_regen.write ~path (explain_of seq)
   | None ->
       let golden = read_file "golden/explain.txt" in
       Alcotest.(check string) "explain matches the golden file" golden (explain_of seq);
