@@ -433,6 +433,117 @@ let run_predictive () =
     ("predictive_overhead_ratio", overhead);
   ]
 
+(* Sustained-throughput soak of the serve daemon: a stream of seeded
+   client sessions — most completing, some hanging up mid-stream —
+   against a live daemon on an ephemeral loopback port. The headline
+   numbers are sessions/sec over the whole soak and the p99 verdict
+   latency, measured client-side from the moment the trace footer is
+   sent to the summary line arriving. *)
+let run_serve () =
+  section "Serve daemon soak";
+  let module Daemon = Rma_serve.Daemon in
+  let module Codec = Rma_trace.Codec in
+  let module Recorder = Rma_trace.Recorder in
+  let module Kernel = Rma_microbench.Scenario.Kernel in
+  let record name =
+    let k = Option.get (Kernel.find name) in
+    let r = Recorder.create () in
+    let config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 0.0 } in
+    ignore
+      (Mpi_sim.Runtime.run ~nprocs:k.Kernel.k_nprocs ~seed:42 ~config
+         ~observer:(Recorder.observer r) k.Kernel.k_program);
+    let events = Recorder.events r in
+    ( k.Kernel.k_nprocs,
+      (Codec.header :: List.map Codec.encode_event events) @ [ Codec.footer (List.length events) ]
+    )
+  in
+  let racy = record "rrb_lockall_remote_conflict_put_put_race" in
+  let clean = record "rrb_lockall_remote_disjoint_put_put_safe" in
+  let write_all fd s =
+    let len = String.length s in
+    let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+    go 0
+  in
+  let read_to_eof fd =
+    let b = Buffer.create 512 in
+    let chunk = Bytes.create 4096 in
+    let rec go () =
+      match Unix.read fd chunk 0 4096 with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes b chunk 0 n;
+          go ()
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let daemon = Daemon.create ~config:{ Daemon.default_config with Daemon.max_sessions = 4 } () in
+  Daemon.start daemon;
+  let sessions = 40 in
+  let latencies = ref [] in
+  let completed = ref 0 and aborted = ref 0 in
+  let t0 = Rma_util.Timer.now () in
+  Fun.protect ~finally:(fun () -> Daemon.stop daemon) (fun () ->
+      for i = 1 to sessions do
+        let nprocs, lines = if i mod 2 = 0 then racy else clean in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Daemon.port daemon));
+        let hello =
+          Printf.sprintf "{\"hello\":1,\"session\":\"soak-%d\",\"nprocs\":%d}" i nprocs
+        in
+        if i mod 5 = 0 then begin
+          (* Churn: hang up mid-stream, footer never sent. *)
+          let cut = List.filteri (fun j _ -> j < List.length lines / 2) lines in
+          write_all fd (String.concat "\n" (hello :: cut) ^ "\n");
+          Unix.close fd;
+          incr aborted
+        end
+        else begin
+          write_all fd (String.concat "\n" (hello :: lines) ^ "\n");
+          let footer_sent = Rma_util.Timer.now () in
+          (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+          let reply = read_to_eof fd in
+          Unix.close fd;
+          if
+            String.split_on_char '\n' reply
+            |> List.exists (fun l ->
+                   Astring.String.is_infix ~affix:"\"type\":\"summary\"" l)
+          then begin
+            latencies := (Rma_util.Timer.now () -. footer_sent) :: !latencies;
+            incr completed
+          end
+        end
+      done);
+  let wall = Rma_util.Timer.now () -. t0 in
+  let stats = Daemon.stats daemon in
+  let sorted = List.sort compare !latencies in
+  let percentile p =
+    match sorted with
+    | [] -> Float.nan
+    | _ ->
+        let n = List.length sorted in
+        List.nth sorted (min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let p50 = percentile 0.50 *. 1000.0 and p99 = percentile 0.99 *. 1000.0 in
+  let sessions_per_sec = if wall > 0.0 then float_of_int !completed /. wall else 0.0 in
+  Printf.printf
+    "%d sessions (%d completed, %d aborted) in %.3f s — %.1f sessions/s; verdict latency p50 \
+     %.2f ms, p99 %.2f ms\n"
+    sessions !completed !aborted wall sessions_per_sec p50 p99;
+  Printf.printf "daemon: %d admitted, %d disconnected, %d races streamed over %d events\n"
+    stats.Daemon.admitted stats.Daemon.disconnected stats.Daemon.races_streamed
+    stats.Daemon.events_ingested;
+  [
+    ("serve_sessions_per_sec", sessions_per_sec);
+    ("serve_p50_verdict_latency_ms", p50);
+    ("serve_p99_verdict_latency_ms", p99);
+    ("serve_sessions_completed", float_of_int !completed);
+    ("serve_sessions_aborted", float_of_int !aborted);
+    ("serve_races_streamed", float_of_int stats.Daemon.races_streamed);
+    ("serve_events_ingested", float_of_int stats.Daemon.events_ingested);
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -578,17 +689,18 @@ let () =
     | "micro" -> run_micro ()
     | "hybrid" -> run_hybrid ()
     | "predictive" -> run_predictive ()
+    | "serve" -> run_serve ()
     | "all" -> []
     | other ->
         Printf.eprintf
           "unknown experiment %S (expected table2 table3 table4 fig5 fig8 fig9 fig10 fig11 fig12 \
-           ablation par fastpath micro hybrid predictive all)\n"
+           ablation par fastpath micro hybrid predictive serve all)\n"
           other;
         exit 2
   in
   let all_names =
     [ "table2"; "table3"; "table4"; "fig5"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12";
-      "ablation"; "par"; "fastpath"; "micro"; "hybrid"; "predictive" ]
+      "ablation"; "par"; "fastpath"; "micro"; "hybrid"; "predictive"; "serve" ]
   in
   let selected = List.concat_map (function "all" -> all_names | n -> [ n ]) selected in
   (* Each experiment becomes a top-level phase span so a trace of the

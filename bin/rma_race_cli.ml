@@ -525,6 +525,185 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Export experiment data as CSV (and the suite as C sources).")
     Term.(const run $ diag_term $ dir_arg $ experiments_arg $ scale_arg)
 
+(* --- record / analyze: the offline post-mortem pair --- *)
+
+module Recorder = Rma_trace.Recorder
+
+let trace_out_arg =
+  Arg.(
+    value & opt string "trace.rma"
+    & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace file to write (Codec format 2).")
+
+let record_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Microbenchmark code or kernel name (rrb_*/hyb_*).")
+  in
+  let run obs name out seed interleave_seed =
+    with_diag ~workload:("record", [ ("workload", name); ("out", out) ]) obs @@ fun () ->
+    let nprocs, program =
+      match Rma_microbench.Scenario.find name with
+      | Some s -> (3, Rma_microbench.Runner.program s)
+      | None -> (
+          match Rma_microbench.Scenario.Kernel.find name with
+          | Some k ->
+              (k.Rma_microbench.Scenario.Kernel.k_nprocs, k.Rma_microbench.Scenario.Kernel.k_program)
+          | None ->
+              Printf.eprintf "record: unknown workload %S (neither a code nor a kernel)\n" name;
+              exit 2)
+    in
+    (* Mirror Runner.run/run_kernel: zero observer cost, so the trace is
+       schedule-identical to what the in-process detectors saw. *)
+    let config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 0.0 } in
+    let interleave_seed =
+      match interleave_seed with
+      | Some _ as s -> s
+      | None -> Mpi_sim.Runtime.default_interleave_seed ()
+    in
+    let r = Recorder.create () in
+    ignore
+      (Mpi_sim.Runtime.run ~nprocs ~seed ?interleave_seed ~config ~observer:(Recorder.observer r)
+         program);
+    Recorder.save r ~path:out;
+    Printf.printf "recorded %d events (%d ranks) to %s\n" (Recorder.length r) nprocs out;
+    []
+  in
+  Cmd.v
+    (Cmd.info "record"
+       ~doc:
+         "Run a microbenchmark code or kernel with the trace recorder attached (no detector) and \
+          write the event stream to a Codec format-2 trace file — the input of $(b,analyze) and \
+          of a $(b,serve) session.")
+    Term.(const run $ diag_term $ name_arg $ trace_out_arg $ seed_arg $ interleave_seed_arg)
+
+let analyze_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (written by $(b,record) or Recorder.save).")
+  in
+  let ranks_opt_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "ranks"; "n" ] ~docv:"N"
+          ~doc:"Simulated rank count; defaults to the highest rank the trace mentions, plus one.")
+  in
+  let renumber reports =
+    List.mapi
+      (fun i r -> { r with Report.provenance = { r.Report.provenance with Report.id = i + 1 } })
+      reports
+  in
+  let run obs tool_choice file ranks =
+    with_diag ~workload:("analyze", [ ("tool", Toolbox.slug tool_choice); ("trace", file) ]) obs
+    @@ fun () ->
+    match Recorder.load ~path:file with
+    | Error msg ->
+        Printf.eprintf "analyze: cannot read %s: %s\n" file msg;
+        exit 2
+    | Ok events ->
+        let nprocs =
+          match ranks with Some n -> n | None -> Rma_trace.Post_mortem.nprocs_of events
+        in
+        (* Default config, not [config ()]: replay charges no observer
+           cost, and the serve daemon builds its per-session tools the
+           same way — the byte-identical-verdict contract hangs on it. *)
+        let tool = Toolbox.make tool_choice ~nprocs () in
+        let reports = renumber (Recorder.replay events ~tool) in
+        Printf.printf "%s: %d events, %d ranks — %s\n" file (List.length events) nprocs
+          (match List.length reports with
+          | 0 -> "no race"
+          | 1 -> "1 race"
+          | n -> Printf.sprintf "%d races" n);
+        List.iter (fun r -> print_endline ("  " ^ Report.to_message r)) reports;
+        let b = tool.Tool.bst_summary () in
+        if b.Tool.degraded_drops_total > 0 then
+          Printf.printf "degraded_drops: %d\n" b.Tool.degraded_drops_total;
+        Printf.printf "digest: %s\n" (Rma_report.Race_export.verdict_digest reports);
+        reports
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Replay a recorded trace file through a detector offline and print its verdicts and \
+          their digest. A $(b,serve) session fed the same trace streams field-identical race \
+          objects and the same digest — the offline reference the churn test pins.")
+    Term.(const run $ diag_term $ tool_arg $ file_arg $ ranks_opt_arg)
+
+(* --- serve: the always-on analysis daemon --- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port"; "p" ] ~docv:"PORT"
+          ~doc:
+            "Listen on loopback TCP $(docv); 0 binds an ephemeral port, printed as \
+             $(b,serve-port: N) on stderr for scripted callers. Default when $(b,--socket) is \
+             not given.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) instead of TCP (unlinked first).")
+  in
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Sessions allowed to stream concurrently; further handshakes wait in the queue.")
+  in
+  let accept_queue_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "accept-queue" ] ~docv:"N"
+          ~doc:
+            "Handshaken sessions allowed to wait for a streaming slot; beyond it connections are \
+             answered with a $(b,load_shed) line and closed.")
+  in
+  let run obs port socket max_sessions accept_queue =
+    with_diag ~workload:("serve", []) obs @@ fun () ->
+    let module D = Rma_serve.Daemon in
+    let addr =
+      match (socket, port) with
+      | Some path, _ -> D.Unix_path path
+      | None, Some p -> D.Tcp p
+      | None, None -> D.Tcp 0
+    in
+    let daemon = D.create ~config:{ D.addr; max_sessions; accept_queue } () in
+    let stop _ = D.request_stop daemon in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    (match D.address daemon with
+    | D.Tcp p -> Printf.printf "serving on 127.0.0.1:%d (max %d sessions, queue %d)\n%!" p max_sessions accept_queue
+    | D.Unix_path path ->
+        Printf.printf "serving on %s (max %d sessions, queue %d)\n%!" path max_sessions accept_queue);
+    D.run daemon;
+    let s = D.stats daemon in
+    Printf.printf
+      "serve: %d accepted, %d admitted, %d completed, %d shed, %d disconnected, %d failed — %d \
+       races streamed over %d events\n"
+      s.D.accepted s.D.admitted s.D.completed s.D.shed s.D.disconnected s.D.failed
+      s.D.races_streamed s.D.events_ingested;
+    []
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the always-on analysis daemon: accept concurrent trace sessions over TCP or a \
+          Unix-domain socket (one handshake line, then a Codec stream each), analyse them \
+          incrementally under per-session budgets and fault plans, and stream race verdicts back \
+          as JSON lines. SIGINT/SIGTERM drain and stop it. Wire protocol and operations guide: \
+          OPERATIONS.md.")
+    Term.(
+      const run $ diag_term $ port_arg $ socket_arg $ max_sessions_arg $ accept_queue_arg)
+
 (* --- obs: journal analytics and crash replay --- *)
 
 module Journal = Rma_obs.Journal
@@ -765,6 +944,9 @@ let () =
             bfs_cmd;
             experiment_cmd;
             export_cmd;
+            record_cmd;
+            analyze_cmd;
+            serve_cmd;
             obs_cmd;
             explain_cmd;
           ]))

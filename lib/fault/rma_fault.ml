@@ -151,6 +151,18 @@ let fire site =
 let fired site = match !state with None -> 0 | Some inst -> inst.hits.(site_index site)
 let ordinal site = match !state with None -> 0 | Some inst -> inst.ordinals.(site_index site)
 
+type snapshot = installed option
+
+let snapshot () =
+  match !state with
+  | None -> None
+  | Some i -> Some { i with ordinals = Array.copy i.ordinals; hits = Array.copy i.hits }
+
+let restore = function
+  | None -> state := None
+  | Some i ->
+      state := Some { i with ordinals = Array.copy i.ordinals; hits = Array.copy i.hits }
+
 module Budget = struct
   type policy = Fail_fast | Spill_oldest_epoch | Coarsen
   type t = { max_nodes : int option; max_bytes : int option; policy : policy }

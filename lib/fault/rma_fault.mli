@@ -125,6 +125,27 @@ val ordinal : site -> int
     so a fault occurrence can be replayed from [(seed, site, ordinal)]
     alone. 0 when no plan is active. *)
 
+(** {1 Saving and restoring the installed state}
+
+    A long-running process multiplexing several analyses (the [serve]
+    daemon) gives each session its own plan while sharing the one
+    process-global slot. {!snapshot} captures the full installed state —
+    plan {e and} per-site ordinals/hit counts — and {!restore} puts it
+    back, so interleaving session A's visits between two slices of
+    session B leaves B's fault schedule exactly where it stopped. Both
+    copy the mutable counters, so a snapshot is immutable: restoring it
+    twice replays the same schedule twice. Main thread only. *)
+
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Capture the active plan and its counters ({!install}ed or not). *)
+
+val restore : snapshot -> unit
+(** Reinstate a captured state, replacing whatever is installed. Unlike
+    {!install} this does {e not} zero the ordinals — the schedule
+    resumes from where the snapshot was taken. *)
+
 (** {1 Resource budgets} *)
 
 module Budget : sig

@@ -66,6 +66,11 @@ let locked f =
 
 let set_run_id id = locked (fun () -> run_id_ref := id)
 
+let with_run_id id f =
+  let saved = locked (fun () -> !run_id_ref) in
+  locked (fun () -> run_id_ref := id);
+  Fun.protect ~finally:(fun () -> locked (fun () -> run_id_ref := saved)) f
+
 let run_id_locked () =
   if !run_id_ref = "" then
     run_id_ref :=

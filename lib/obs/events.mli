@@ -60,6 +60,14 @@ val set_run_id : string -> unit
 (** Override the process-generated run id (tests pin it for golden
     journals). *)
 
+val with_run_id : string -> (unit -> 'a) -> 'a
+(** Run the thunk with the given run id current, restoring the previous
+    one afterwards (exception-safe). The serve daemon brackets each
+    session's processing slice with this so interleaved sessions label
+    their journal records correctly; events emitted by worker domains
+    mid-slice pick up the slice's id, which is the intended attribution
+    (workers only run work submitted by the current slice). *)
+
 val run_id : unit -> string
 (** The current run id, generating one on first use. *)
 

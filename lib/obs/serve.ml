@@ -26,7 +26,19 @@ let http_response ?(status = "200 OK") ~content_type body =
     "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
     status content_type (String.length body) body
 
-let respond fd path =
+(* The one query parameter any route understands: [?run=<run_id>]
+   restricts /events to a single multiplexed session's journal lines.
+   Parsing is deliberately naive (no URL-decoding) — run ids are
+   generated from [-a-z0-9] only. *)
+let run_filter_of_query query =
+  String.split_on_char '&' query
+  |> List.find_map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some i when String.sub kv 0 i = "run" ->
+             Some (String.sub kv (i + 1) (String.length kv - i - 1))
+         | _ -> None)
+
+let respond fd path query =
   match path with
   | "/metrics" ->
       (* Refresh the resource gauges so a scrape always sees current
@@ -44,7 +56,14 @@ let respond fd path =
       write_all fd
         "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson; charset=utf-8\r\n\
          Connection: close\r\n\r\n";
-      List.iter (fun ev -> write_all fd (Events.line ev ^ "\n")) (Events.recent ())
+      let keep =
+        match run_filter_of_query query with
+        | None -> fun _ -> true
+        | Some run -> fun (ev : Events.t) -> ev.Events.run_id = run
+      in
+      List.iter
+        (fun ev -> if keep ev then write_all fd (Events.line ev ^ "\n"))
+        (Events.recent ())
   | _ ->
       write_all fd
         (http_response ~status:"404 Not Found" ~content_type:"text/plain; charset=utf-8"
@@ -55,16 +74,16 @@ let handle_client fd =
   let n = try Unix.read fd buf 0 2048 with Unix.Unix_error _ -> 0 in
   if n > 0 then begin
     let req = Bytes.sub_string buf 0 n in
-    let path =
+    let path, query =
       match String.split_on_char ' ' req with
-      | _meth :: path :: _ ->
-          (* Strip any query string; routes take no parameters. *)
-          (match String.index_opt path '?' with
-          | Some i -> String.sub path 0 i
-          | None -> path)
-      | _ -> "/"
+      | _meth :: path :: _ -> (
+          match String.index_opt path '?' with
+          | Some i ->
+              (String.sub path 0 i, String.sub path (i + 1) (String.length path - i - 1))
+          | None -> (path, ""))
+      | _ -> ("/", "")
     in
-    respond fd path
+    respond fd path query
   end
 
 let accept_loop t () =

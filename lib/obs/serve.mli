@@ -2,12 +2,14 @@
     port, answered from a background domain so the detector can be
     inspected {e while} a run is in progress ([--obs-serve PORT]).
 
-    Routes: [/metrics] (Prometheus text, gauges refreshed per scrape),
+    Routes: [/metrics] (Prometheus text, gauges refreshed per scrape;
+    includes one [rma_session_info] series per {!Sessions} entry),
     [/healthz] ([ok]), and [/events] (the journal's in-memory ring,
     streamed as [application/x-ndjson] — one write per record, body
-    delimited by connection close rather than Content-Length). Anything
-    else is 404. One request per connection; requests are served
-    sequentially. *)
+    delimited by connection close rather than Content-Length).
+    [/events?run=<run_id>] restricts the dump to one multiplexed
+    session's records. Anything else is 404. One request per
+    connection; requests are served sequentially. *)
 
 type t
 

@@ -90,6 +90,8 @@ let worker_loop w =
     task ()
   done
 
+let pool_size () = !spawned
+
 let ensure_workers n =
   if !spawned < n then begin
     Mutex.lock spawn_mu;

@@ -70,6 +70,13 @@ val set_default_jobs : int -> unit
 (** Override the process-wide default (the CLI's [--jobs]). Clamped to
     [1 .. max_jobs]. *)
 
+val pool_size : unit -> int
+(** Worker domains spawned into the process-global pool so far. The
+    pool is append-only and bounded by {!max_jobs}, so a long-running
+    service can assert it does not leak domains across sessions: the
+    value may grow up to the largest [jobs] ever requested and must
+    then stay constant. *)
+
 val create : ?jobs:int -> ?queue_capacity:int -> unit -> t
 (** An engine with [jobs] shards (default {!default_jobs}, clamped to
     [1 .. max_jobs]) and at most [queue_capacity] (default 1024,

@@ -105,6 +105,8 @@ let json_of_report (r : Report.t) =
       ("predicted", Json.Bool true)
       :: (match p.Report.witness with Some w -> [ ("witness", json_of_witness w) ] | None -> []))
 
+let report_json = json_of_report
+
 let to_json ?run_id ~generator reports =
   Json.Obj
     (("schema_version", Json.Int (used_schema_version reports))

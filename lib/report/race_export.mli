@@ -25,6 +25,12 @@ val used_schema_version : Report.t list -> int
 
 (** {1 JSON} *)
 
+val report_json : Report.t -> Rma_util.Json.t
+(** The per-race object exactly as it appears inside {!to_json}'s
+    [races] array — the unit the [serve] daemon streams as one
+    JSON-line per verdict, so a streamed race is byte-identical to the
+    same race in an offline export. *)
+
 val to_json : ?run_id:string -> generator:string -> Report.t list -> Rma_util.Json.t
 (** [generator] names the producing command (goes into the header next
     to the schema version). [run_id] is the {!Rma_obs.Events.run_id} of

@@ -1,0 +1,80 @@
+module Tool = Rma_analysis.Tool
+module Codec = Rma_trace.Codec
+
+type close_reason =
+  | Completed
+  | Shed
+  | Protocol_error of string
+  | Disconnected
+  | Daemon_shutdown
+
+let reason_label = function
+  | Completed -> "completed"
+  | Shed -> "shed"
+  | Protocol_error _ -> "protocol_error"
+  | Disconnected -> "disconnected"
+  | Daemon_shutdown -> "daemon_shutdown"
+
+type phase = Handshaking | Queued | Streaming | Closed of close_reason
+
+let phase_label = function
+  | Handshaking -> "handshaking"
+  | Queued -> "queued"
+  | Streaming -> "streaming"
+  | Closed r -> "closed:" ^ reason_label r
+
+type t = {
+  id : int;
+  fd : Unix.file_descr;
+  mutable phase : phase;
+  mutable pending : string;  (* bytes received but not yet terminated by '\n' *)
+  mutable inbox : string list;  (* complete lines not yet consumed by the state machine *)
+  mutable hello : Protocol.hello option;
+  mutable run_id : string;
+  mutable tool : Tool.t option;
+  decoder : Codec.Incremental.t;
+  mutable fault_snap : Rma_fault.snapshot option;
+  mutable races_streamed : int;
+  mutable last_race_count : int;
+  mutable events_fed : int;
+}
+
+let create ~id ~fd =
+  {
+    id;
+    fd;
+    phase = Handshaking;
+    pending = "";
+    inbox = [];
+    hello = None;
+    run_id = "";
+    tool = None;
+    decoder = Codec.Incremental.create ();
+    fault_snap = None;
+    races_streamed = 0;
+    last_race_count = 0;
+    events_fed = 0;
+  }
+
+let is_open s = match s.phase with Closed _ -> false | _ -> true
+let wants_read s = match s.phase with Handshaking | Streaming -> true | _ -> false
+
+(* Append a received chunk, peeling complete lines into the inbox. CRLF
+   tolerated; the unterminated tail stays pending for the next chunk. *)
+let push_bytes s chunk =
+  let data = s.pending ^ chunk in
+  let parts = String.split_on_char '\n' data in
+  match List.rev parts with
+  | [] -> ()
+  | tail :: complete_rev ->
+      s.pending <- tail;
+      let lines =
+        List.rev_map
+          (fun line ->
+            let n = String.length line in
+            if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+          complete_rev
+      in
+      s.inbox <- s.inbox @ lines
+
+let session_name s = match s.hello with Some h -> Some h.Protocol.session | None -> None

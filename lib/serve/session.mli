@@ -1,0 +1,78 @@
+(** One client connection's lifecycle state.
+
+    The daemon owns every transition; this module just names the state
+    machine and keeps the per-session mutable record — socket, receive
+    buffer, handshake, detector tool, incremental decoder, and the
+    session's private {!Rma_fault} schedule position.
+
+    {v
+      Handshaking ──hello, slot free──────────────▶ Streaming
+          │   │                                        │
+          │   └──hello, slots busy──▶ Queued ──slot──▶ │
+          │            │                │              │
+          │            │           (queue full)        │
+          ▼            ▼                ▼              ▼
+        Closed of Protocol_error | Shed | Disconnected | Completed
+                                       | Daemon_shutdown
+    v} *)
+
+(** Why a session ended: [Completed] (footer seen, summary sent),
+    [Shed] (admission refused), [Protocol_error] (bad handshake or
+    undecodable trace line, reason attached), [Disconnected] (client
+    vanished mid-stream), [Daemon_shutdown] (daemon stopped first). *)
+type close_reason =
+  | Completed
+  | Shed
+  | Protocol_error of string
+  | Disconnected
+  | Daemon_shutdown
+
+val reason_label : close_reason -> string
+(** Stable lowercase label used in journal events, [/metrics] session
+    states and daemon stats. *)
+
+type phase = Handshaking | Queued | Streaming | Closed of close_reason
+
+val phase_label : phase -> string
+
+type t = {
+  id : int;  (** Daemon-local ordinal, minted at accept. *)
+  fd : Unix.file_descr;
+  mutable phase : phase;
+  mutable pending : string;  (** Received bytes not yet newline-terminated. *)
+  mutable inbox : string list;
+      (** Complete lines the state machine has not consumed yet — a
+          client that pipelines its handshake and trace in one write
+          can land lines while the session is still [Queued]; they wait
+          here until admission. *)
+  mutable hello : Protocol.hello option;
+  mutable run_id : string;  (** ["<daemon run id>-s<id>"] once admitted. *)
+  mutable tool : Rma_analysis.Tool.t option;
+  decoder : Rma_trace.Codec.Incremental.t;
+  mutable fault_snap : Rma_fault.snapshot option;
+      (** Where this session's private fault schedule paused — restored
+          around every processing slice so interleaved sessions never
+          perturb each other's deterministic fault ordinals. *)
+  mutable races_streamed : int;
+  mutable last_race_count : int;
+  mutable events_fed : int;
+}
+
+val create : id:int -> fd:Unix.file_descr -> t
+(** Fresh session in [Handshaking]. *)
+
+val is_open : t -> bool
+
+val wants_read : t -> bool
+(** Whether the daemon's select loop should watch this fd: true in
+    [Handshaking] and [Streaming]. A [Queued] session is deliberately
+    {e not} read — the kernel socket buffer back-pressures the client
+    until a streaming slot frees. *)
+
+val push_bytes : t -> string -> unit
+(** Append a received chunk, moving every newly completed line (without
+    its terminator; CRLF tolerated) into [inbox]. The unterminated tail
+    is kept for the next chunk. *)
+
+val session_name : t -> string option
+(** The handshake's session name, once known. *)

@@ -336,6 +336,77 @@ let read_all_raw ic =
       in
       go 2 []
 
+module Incremental = struct
+  type phase = Awaiting_header | Streaming | Finished of int
+
+  type t = {
+    mutable phase : phase;
+    mutable framed : bool;
+    mutable lineno : int;  (* 1-based line number of the next [feed]. *)
+    mutable count : int;
+  }
+
+  type step = Event of Event.event | Skip | Complete of int
+
+  let create () = { phase = Awaiting_header; framed = false; lineno = 1; count = 0 }
+  let events_seen t = t.count
+  let complete t = match t.phase with Finished _ -> true | _ -> false
+
+  let is_footer line =
+    String.length line >= String.length footer_prefix
+    && String.sub line 0 (String.length footer_prefix) = footer_prefix
+
+  let feed t line =
+    let here = t.lineno in
+    t.lineno <- here + 1;
+    match t.phase with
+    | Finished _ ->
+        (* Mirror [read_all_raw], which stops reading at the footer:
+           trailing bytes after a complete frame are ignored. *)
+        Ok Skip
+    | Awaiting_header ->
+        if line = header || line = legacy_header then begin
+          t.framed <- line = header;
+          t.phase <- Streaming;
+          Ok Skip
+        end
+        else Error { at_line = here; reason = Printf.sprintf "bad header %S" line }
+    | Streaming ->
+        if String.trim line = "" then Ok Skip
+        else if t.framed && is_footer line then
+          match parse_footer line with
+          | Some n when n = t.count ->
+              t.phase <- Finished n;
+              Ok (Complete n)
+          | Some n ->
+              Error
+                {
+                  at_line = here;
+                  reason =
+                    Printf.sprintf "footer count %d disagrees with %d decoded events" n t.count;
+                }
+          | None -> Error { at_line = here; reason = "malformed rma-trace-end footer" }
+        else
+          match decode_event line with
+          | Ok e ->
+              t.count <- t.count + 1;
+              Ok (Event e)
+          | Error reason -> Error { at_line = here; reason }
+
+  let finish t =
+    match t.phase with
+    | Finished n -> Ok n
+    | Awaiting_header -> Error { at_line = 1; reason = "empty trace" }
+    | Streaming ->
+        if t.framed then
+          Error { at_line = t.lineno; reason = "truncated trace: missing rma-trace-end footer" }
+        else begin
+          (* Legacy (format-1) streams have no footer: EOF is the frame. *)
+          t.phase <- Finished t.count;
+          Ok t.count
+        end
+end
+
 let read_all ic =
   match read_all_raw ic with
   | Ok _ as ok -> ok

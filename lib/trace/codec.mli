@@ -61,5 +61,50 @@ val read_all : in_channel -> (Mpi_sim.Event.event list, error) result
     mismatching footer reports truncation. Stops at the first
     malformed line. Blank lines are ignored. *)
 
+(** {1 Incremental decoding}
+
+    The [serve] daemon receives one Codec stream per socket session and
+    must make progress a line at a time, interleaved with other
+    sessions. {!Incremental} is the same total grammar as {!read_all},
+    refactored into a push decoder: hand it each complete line (without
+    its newline) as it arrives and it yields decoded events until the
+    footer closes the frame. *)
+
+module Incremental : sig
+  type t
+  (** Mutable framing state for one stream. *)
+
+  (** Result of feeding one line:
+      - [Event e] — the line decoded to an event.
+      - [Skip] — the line carried no event (header, blank line, or any
+        line after a completed frame).
+      - [Complete n] — the line was a valid footer for the [n] events
+        seen; the frame is complete. *)
+  type step = Event of Mpi_sim.Event.event | Skip | Complete of int
+
+  val create : unit -> t
+  (** A fresh decoder expecting the header line first (format 2 or the
+      legacy format-1 header). *)
+
+  val feed : t -> string -> (step, error) result
+  (** Consume one line. Total, like {!decode_event}: malformed input
+      yields [Error] with the 1-based line number (header = line 1),
+      never an exception. After the first [Error] the decoder state is
+      unspecified — abandon the stream. *)
+
+  val finish : t -> (int, error) result
+  (** Signal end-of-input. [Ok n] when the frame completed ([n] events)
+      or the stream used the unframed legacy header; [Error] when a
+      format-2 stream ended without its footer (truncation) or no
+      header was ever seen. *)
+
+  val events_seen : t -> int
+  (** Events decoded so far. *)
+
+  val complete : t -> bool
+  (** Whether the frame has closed (footer seen, or legacy EOF via
+      {!finish}). *)
+end
+
 val escape : string -> string
 val unescape : string -> string

@@ -30,6 +30,12 @@ type result = {
   pairs_checked : int;
 }
 
+val nprocs_of : Mpi_sim.Event.event list -> int
+(** Smallest rank-universe containing every event: max over all ranks
+    and access spaces/issuers, plus one (minimum 1). The [analyze]
+    subcommand and the serve daemon use it to size detector state when
+    a trace arrives without out-of-band rank metadata. *)
+
 val analyze : ?max_reports:int -> Mpi_sim.Event.event list -> result
 (** Default cap 10 000 distinct pairs. Duplicate races from the same
     statement pair (same file/line/operation on both sides) in the same

@@ -27,5 +27,6 @@ let () =
       ("export", Test_export.suite);
       ("fault", Test_fault.suite);
       ("predictive", Test_predictive.suite);
+      ("serve", Test_serve.suite);
       ("golden_regen", Golden_regen.suite);
     ]

@@ -1,0 +1,379 @@
+(* The serve daemon: wire protocol round-trips, admission control
+   (queue then shed), per-session isolation under interleaved streams,
+   and the churn soak — seeded clients that connect, abort or complete
+   while the test pins byte-identical verdicts against the offline
+   replay path and zero leaked sessions, pool domains or fault state. *)
+
+module Daemon = Rma_serve.Daemon
+module Protocol = Rma_serve.Protocol
+module Codec = Rma_trace.Codec
+module Recorder = Rma_trace.Recorder
+module Kernel = Rma_microbench.Scenario.Kernel
+module Json = Rma_util.Json
+module Toolbox = Rma_analysis.Toolbox
+module Tool = Rma_analysis.Tool
+module Report = Rma_analysis.Report
+module Race_export = Rma_report.Race_export
+module Sessions = Rma_obs.Sessions
+
+(* --- trace material ------------------------------------------------- *)
+
+let record_kernel name =
+  let k = Option.get (Kernel.find name) in
+  let r = Recorder.create () in
+  let config = { Mpi_sim.Config.default with Mpi_sim.Config.analysis_overhead_scale = 0.0 } in
+  ignore
+    (Mpi_sim.Runtime.run ~nprocs:k.Kernel.k_nprocs ~seed:42 ~config
+       ~observer:(Recorder.observer r) k.Kernel.k_program);
+  (* Round-trip through the codec: both the daemon and the offline
+     [analyze] path see decoded events, whose timestamps carry the
+     codec's precision, not the recorder's. *)
+  let events =
+    List.map
+      (fun e -> Result.get_ok (Codec.decode_event (Codec.encode_event e)))
+      (Recorder.events r)
+  in
+  (k.Kernel.k_nprocs, events)
+
+let trace_lines events =
+  (Codec.header :: List.map Codec.encode_event events) @ [ Codec.footer (List.length events) ]
+
+let racy_kernel = "rrb_lockall_remote_conflict_put_put_race"
+let clean_kernel = "rrb_lockall_remote_disjoint_put_put_safe"
+
+let with_id id (r : Report.t) =
+  { r with Report.provenance = { r.Report.provenance with Report.id = id } }
+
+(* The offline reference the daemon must match byte-for-byte: replay
+   through the same tool construction, renumber to stream order, render
+   with the same protocol constructor. *)
+let offline ?jobs ?budget ~nprocs events =
+  let tool = Toolbox.make Toolbox.Contribution ~nprocs ?jobs ?budget () in
+  let reports = List.mapi (fun i r -> with_id (i + 1) r) (Recorder.replay events ~tool) in
+  (List.map Protocol.race reports, Race_export.verdict_digest reports)
+
+(* --- a minimal blocking client -------------------------------------- *)
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let write_all fd s =
+  let rec go off =
+    if off < String.length s then go (off + Unix.write_substring fd s off (String.length s - off))
+  in
+  go 0
+
+let send_lines fd lines = write_all fd (String.concat "\n" lines ^ "\n")
+
+let recv_line fd =
+  let b = Buffer.create 64 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd byte 0 1 with
+    | 0 -> if Buffer.length b = 0 then None else Some (Buffer.contents b)
+    | _ -> if Bytes.get byte 0 = '\n' then Some (Buffer.contents b) else (Buffer.add_bytes b byte; go ())
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        if Buffer.length b = 0 then None else Some (Buffer.contents b)
+  in
+  go ()
+
+let recv_all fd =
+  let rec go acc = match recv_line fd with None -> List.rev acc | Some l -> go (l :: acc) in
+  go []
+
+let line_type line =
+  match Json.of_string line with
+  | Ok j -> Option.value ~default:"?" (Option.bind (Json.member "type" j) Json.to_str)
+  | Error _ -> "?"
+
+let str_field name line =
+  match Json.of_string line with
+  | Ok j -> Option.bind (Json.member name j) Json.to_str
+  | Error _ -> None
+
+let int_field name line =
+  match Json.of_string line with
+  | Ok j -> Option.bind (Json.member name j) Json.to_int
+  | Error _ -> None
+
+let hello ?tool ?jobs ?budget ?fault ~session ~nprocs () =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  Json.to_string ~minify:true
+    (Json.Obj
+       ([ ("hello", Json.Int Protocol.version); ("session", Json.String session);
+          ("nprocs", Json.Int nprocs) ]
+       @ opt "tool" (fun s -> Json.String s) tool
+       @ opt "jobs" (fun j -> Json.Int j) jobs
+       @ opt "budget" (fun s -> Json.String s) budget
+       @ opt "fault" (fun s -> Json.String s) fault))
+
+(* Run one complete session against a live daemon and return the server
+   lines after the admission verdict. *)
+let run_session ?tool ?jobs ?budget ?fault ~port ~session ~nprocs lines =
+  let fd = connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) @@ fun () ->
+  send_lines fd (hello ?tool ?jobs ?budget ?fault ~session ~nprocs () :: lines);
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  recv_all fd
+
+(* Wait (bounded) for an asynchronous daemon-side transition, e.g. the
+   loop noticing an aborted client's EOF. *)
+let await ?(deadline = 5.0) what cond =
+  let rec go left =
+    if cond () then ()
+    else if left <= 0.0 then Alcotest.failf "timed out waiting for %s" what
+    else (
+      Unix.sleepf 0.02;
+      go (left -. 0.02))
+  in
+  go deadline
+
+let with_daemon ?(max_sessions = 4) ?(accept_queue = 8) f =
+  Sessions.reset ();
+  let d =
+    Daemon.create ~config:{ Daemon.addr = Daemon.Tcp 0; max_sessions; accept_queue } ()
+  in
+  Daemon.start d;
+  Fun.protect ~finally:(fun () -> Daemon.stop d) (fun () -> f d (Daemon.port d));
+  Daemon.stats d
+
+(* --- tests ----------------------------------------------------------- *)
+
+let test_byte_identical_verdicts () =
+  let nprocs, events = record_kernel racy_kernel in
+  let expected_races, expected_digest = offline ~nprocs events in
+  let stats =
+    with_daemon @@ fun _d port ->
+    let lines = run_session ~port ~session:"racy" ~nprocs (trace_lines events) in
+    (match lines with
+    | admitted :: rest ->
+        Alcotest.(check string) "admitted first" "admitted" (line_type admitted);
+        let races, tail = List.partition (fun l -> line_type l = "race") rest in
+        Alcotest.(check (list string)) "streamed race lines byte-equal offline" expected_races races;
+        (match tail with
+        | [ summary ] ->
+            Alcotest.(check string) "summary last" "summary" (line_type summary);
+            Alcotest.(check (option string)) "digest matches offline replay"
+              (Some expected_digest) (str_field "digest" summary);
+            Alcotest.(check (option int)) "event count" (Some (List.length events))
+              (int_field "events" summary);
+            Alcotest.(check (option int)) "race count" (Some (List.length expected_races))
+              (int_field "races" summary)
+        | other -> Alcotest.failf "expected one summary line, got %d" (List.length other))
+    | [] -> Alcotest.fail "no server lines")
+  in
+  Alcotest.(check int) "one admitted" 1 stats.Daemon.admitted;
+  Alcotest.(check int) "one completed" 1 stats.Daemon.completed;
+  Alcotest.(check int) "no sessions leaked" 0 (Sessions.registered_count ())
+
+let test_legacy_stream_and_errors () =
+  let nprocs, events = record_kernel clean_kernel in
+  let stats =
+    with_daemon @@ fun _d port ->
+    (* A legacy (format 1, unframed) stream completes at EOF. *)
+    let legacy =
+      Codec.legacy_header :: List.map Codec.encode_event events
+    in
+    let lines = run_session ~port ~session:"legacy" ~nprocs legacy in
+    Alcotest.(check string) "legacy summary"
+      "summary" (line_type (List.nth lines (List.length lines - 1)));
+    (* A non-JSON handshake is answered with an error line and a close. *)
+    let fd = connect port in
+    send_lines fd [ "this is not a handshake" ];
+    (match recv_all fd with
+    | l :: _ -> Alcotest.(check string) "error line" "error" (line_type l)
+    | [] -> Alcotest.fail "no error line");
+    Unix.close fd;
+    (* An undecodable trace line after a fine handshake, likewise. *)
+    let fd = connect port in
+    send_lines fd [ hello ~session:"bad-trace" ~nprocs (); Codec.header; "G\tnot\tan\tevent" ];
+    let lines = recv_all fd in
+    Alcotest.(check bool) "error after bad event" true
+      (List.exists (fun l -> line_type l = "error") lines);
+    Unix.close fd
+  in
+  Alcotest.(check int) "one completed" 1 stats.Daemon.completed;
+  Alcotest.(check int) "two protocol failures" 2 stats.Daemon.failed;
+  Alcotest.(check int) "no sessions leaked" 0 (Sessions.registered_count ())
+
+let test_admission_queue_and_shed () =
+  let nprocs, events = record_kernel racy_kernel in
+  let lines = trace_lines events in
+  let stats =
+    with_daemon ~max_sessions:1 ~accept_queue:1 @@ fun _d port ->
+    (* A fills the only streaming slot... *)
+    let a = connect port in
+    send_lines a [ hello ~session:"a" ~nprocs () ];
+    Alcotest.(check (option string)) "a admitted" (Some "admitted")
+      (Option.map line_type (recv_line a));
+    (* ...B waits in the accept queue... *)
+    let b = connect port in
+    send_lines b [ hello ~session:"b" ~nprocs () ];
+    let b_first = Option.get (recv_line b) in
+    Alcotest.(check string) "b queued" "queued" (line_type b_first);
+    Alcotest.(check (option int)) "b at position 1" (Some 1) (int_field "position" b_first);
+    (* ...and C is shed. *)
+    let c = connect port in
+    send_lines c [ hello ~session:"c" ~nprocs () ];
+    let c_lines = recv_all c in
+    Alcotest.(check bool) "c shed" true
+      (List.exists (fun l -> line_type l = "load_shed") c_lines);
+    Unix.close c;
+    (* A finishes; B is promoted into the freed slot and completes too. *)
+    send_lines a lines;
+    (try Unix.shutdown a Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    let a_rest = recv_all a in
+    Alcotest.(check string) "a summary"
+      "summary" (line_type (List.nth a_rest (List.length a_rest - 1)));
+    Unix.close a;
+    Alcotest.(check (option string)) "b admitted after a" (Some "admitted")
+      (Option.map line_type (recv_line b));
+    send_lines b lines;
+    (try Unix.shutdown b Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    let b_rest = recv_all b in
+    Alcotest.(check string) "b summary"
+      "summary" (line_type (List.nth b_rest (List.length b_rest - 1)));
+    Unix.close b
+  in
+  Alcotest.(check int) "two admitted" 2 stats.Daemon.admitted;
+  Alcotest.(check int) "two completed" 2 stats.Daemon.completed;
+  Alcotest.(check int) "one shed" 1 stats.Daemon.shed;
+  Alcotest.(check int) "no sessions leaked" 0 (Sessions.registered_count ())
+
+(* Two sessions streamed strictly interleaved, one line at a time — the
+   round-robin slices alternate between them, so any cross-session
+   leakage of detector, budget or fault state would corrupt a verdict. *)
+let test_interleaved_sessions_isolated () =
+  let nprocs_r, events_r = record_kernel racy_kernel in
+  let nprocs_c, events_c = record_kernel clean_kernel in
+  let races_r, digest_r = offline ~nprocs:nprocs_r events_r in
+  let _, digest_c = offline ~jobs:2 ~nprocs:nprocs_c events_c in
+  let stats =
+    with_daemon @@ fun _d port ->
+    let a = connect port in
+    let b = connect port in
+    send_lines a [ hello ~session:"racy" ~nprocs:nprocs_r () ];
+    send_lines b
+      [ hello ~session:"clean" ~jobs:2 ~fault:"seed=7" ~nprocs:nprocs_c () ];
+    Alcotest.(check (option string)) "a admitted" (Some "admitted")
+      (Option.map line_type (recv_line a));
+    Alcotest.(check (option string)) "b admitted" (Some "admitted")
+      (Option.map line_type (recv_line b));
+    (* one line to A, one line to B, until both streams are done *)
+    let rec zip xs ys =
+      (match xs with x :: _ -> send_lines a [ x ] | [] -> ());
+      (match ys with y :: _ -> send_lines b [ y ] | [] -> ());
+      match (xs, ys) with
+      | [], [] -> ()
+      | _ -> zip (match xs with _ :: t -> t | [] -> []) (match ys with _ :: t -> t | [] -> [])
+    in
+    zip (trace_lines events_r) (trace_lines events_c);
+    (try Unix.shutdown a Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    (try Unix.shutdown b Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+    let ra = recv_all a and rb = recv_all b in
+    Unix.close a;
+    Unix.close b;
+    let races = List.filter (fun l -> line_type l = "race") ra in
+    Alcotest.(check (list string)) "interleaved racy session still byte-identical" races_r races;
+    let summary_of lines = List.nth lines (List.length lines - 1) in
+    Alcotest.(check (option string)) "racy digest" (Some digest_r)
+      (str_field "digest" (summary_of ra));
+    Alcotest.(check (option string)) "clean digest under jobs=2 + fault plan" (Some digest_c)
+      (str_field "digest" (summary_of rb))
+  in
+  Alcotest.(check int) "both completed" 2 stats.Daemon.completed
+
+(* The soak: seeded churn of connect / abort / complete clients, then
+   the leak audit — no live sessions, no extra pool domains, and the
+   offline path still produces the pre-daemon digest (global fault,
+   budget and run-id state all restored). *)
+let test_session_churn_soak () =
+  let nprocs, events_r = record_kernel racy_kernel in
+  let _, events_c = record_kernel clean_kernel in
+  let racy_lines = trace_lines events_r and clean_lines = trace_lines events_c in
+  let races_r, digest_r = offline ~nprocs events_r in
+  let _, digest_c = offline ~nprocs events_c in
+  let pool_before = Rma_par.pool_size () in
+  let completed = ref 0 and aborted = ref 0 in
+  let stats =
+    with_daemon ~max_sessions:3 @@ fun d port ->
+    let rng = Random.State.make [| 1105 |] in
+    for i = 1 to 24 do
+      let name = Printf.sprintf "churn-%d" i in
+      match Random.State.int rng 3 with
+      | 0 ->
+          let lines = run_session ~port ~session:name ~nprocs racy_lines in
+          Alcotest.(check (option string))
+            (name ^ " digest") (Some digest_r)
+            (str_field "digest" (List.nth lines (List.length lines - 1)));
+          Alcotest.(check int)
+            (name ^ " races")
+            (List.length races_r)
+            (List.length (List.filter (fun l -> line_type l = "race") lines));
+          incr completed
+      | 1 ->
+          let budget = if i mod 2 = 0 then Some "4096:spill" else None in
+          let lines = run_session ?budget ~port ~session:name ~nprocs clean_lines in
+          Alcotest.(check (option string))
+            (name ^ " digest") (Some digest_c)
+            (str_field "digest" (List.nth lines (List.length lines - 1)));
+          incr completed
+      | _ ->
+          (* Abort mid-stream: hello plus a truncated prefix, then a
+             hard close with no footer. *)
+          let fd = connect port in
+          let cut = 1 + Random.State.int rng (List.length racy_lines - 2) in
+          let prefix = List.filteri (fun j _ -> j < cut) racy_lines in
+          send_lines fd (hello ~session:name ~nprocs () :: prefix);
+          ignore (recv_line fd) (* admitted *);
+          Unix.close fd;
+          incr aborted
+    done;
+    (* The last aborts race the shutdown below: give the loop a round to
+       see their EOFs, or they would close as daemon_shutdown instead. *)
+    await "abort EOFs to be noticed" (fun () ->
+        (Daemon.stats d).Daemon.disconnected = !aborted)
+  in
+  Alcotest.(check int) "every completing client got its summary" !completed
+    stats.Daemon.completed;
+  Alcotest.(check int) "every abort was seen as a disconnect" !aborted
+    stats.Daemon.disconnected;
+  Alcotest.(check int) "accepted = completed + aborted" (!completed + !aborted)
+    stats.Daemon.accepted;
+  Alcotest.(check int) "no live sessions after the churn" 0 (Sessions.registered_count ());
+  Alcotest.(check int) "no worker domains leaked" pool_before (Rma_par.pool_size ());
+  (* The offline reference, recomputed after all that churn, is
+     unchanged — per-session budgets and fault plans never escaped. *)
+  let _, digest_after = offline ~nprocs events_r in
+  Alcotest.(check string) "offline digest unchanged after the churn" digest_r digest_after
+
+let test_metrics_label_sessions () =
+  let nprocs, events = record_kernel racy_kernel in
+  let _ =
+    with_daemon @@ fun _d port ->
+    ignore (run_session ~port ~session:"metrics-probe" ~nprocs (trace_lines events));
+    let text = Rma_obs.Prometheus.to_text ~filter:(fun n -> n = "session_info") () in
+    Alcotest.(check bool) "rma_session_info series present" true
+      (Astring.String.is_infix ~affix:"rma_session_info{" text);
+    Alcotest.(check bool) "series carries the session name" true
+      (Astring.String.is_infix ~affix:"session=\"metrics-probe\"" text);
+    Alcotest.(check bool) "closed session labelled with its reason" true
+      (Astring.String.is_infix ~affix:"state=\"closed:completed\"" text)
+  in
+  ()
+
+let suite =
+  [
+    Alcotest.test_case "byte-identical verdicts vs offline replay" `Quick
+      test_byte_identical_verdicts;
+    Alcotest.test_case "legacy stream completes; bad handshake and bad event error out" `Quick
+      test_legacy_stream_and_errors;
+    Alcotest.test_case "admission: queue then shed, queued session promoted" `Quick
+      test_admission_queue_and_shed;
+    Alcotest.test_case "interleaved sessions stay isolated" `Quick
+      test_interleaved_sessions_isolated;
+    Alcotest.test_case "session churn soak leaks nothing" `Quick test_session_churn_soak;
+    Alcotest.test_case "/metrics labels sessions by run id" `Quick test_metrics_label_sessions;
+  ]
